@@ -1,0 +1,75 @@
+// Command ecnbench regenerates the paper's tables and figures. Each
+// experiment is addressed by the id of the table/figure it reproduces:
+//
+//	ecnbench -list
+//	ecnbench -exp fig14
+//	ecnbench -exp fig3,fig11 -full
+//	ecnbench -exp all -full
+//
+// Quick mode (default) runs down-scaled versions; -full runs paper-scale
+// experiments (the FCT sweeps take a few minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ecndelay"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "experiment id, comma list, or 'all'")
+		full    = flag.Bool("full", false, "run paper-scale experiments instead of quick versions")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-8s %-28s %s\n", "ID", "REPRODUCES", "TITLE")
+		for _, r := range ecndelay.Runners() {
+			fmt.Printf("%-8s %-28s %s\n", r.ID, r.Figure, r.Title)
+		}
+		return
+	}
+
+	opts := ecndelay.ExperimentOptions{Scale: ecndelay.Quick, Seed: *seed}
+	if *full {
+		opts.Scale = ecndelay.Full
+	}
+
+	var selected []ecndelay.Experiment
+	if *expFlag == "all" {
+		selected = ecndelay.Runners()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			r, ok := ecndelay.GetRunner(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ecnbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, r)
+		}
+	}
+
+	failed := 0
+	for _, r := range selected {
+		t0 := time.Now()
+		rep, err := r.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ecnbench: %s failed: %v\n", r.ID, err)
+			failed++
+			continue
+		}
+		rep.Render(os.Stdout)
+		fmt.Printf("[%s: %.1fs]\n\n", r.ID, time.Since(t0).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

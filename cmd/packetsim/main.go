@@ -1,0 +1,134 @@
+// Command packetsim runs long-lived flows through the packet-level
+// simulator and writes the bottleneck queue and per-flow rate series as
+// TSV.
+//
+//	packetsim -proto dcqcn -n 10 -bw 40e9 -extra-delay 85e-6
+//	packetsim -proto timely -n 2 -rates 875e6,375e6
+//	packetsim -proto patched -n 2 -burst
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"ecndelay"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("packetsim: ")
+	var (
+		proto      = flag.String("proto", "dcqcn", "dcqcn | timely | patched")
+		n          = flag.Int("n", 2, "number of senders (one long flow each)")
+		bw         = flag.Float64("bw", 10e9, "link bandwidth, bits/s")
+		extraDelay = flag.Float64("extra-delay", 0, "extra feedback delay, seconds")
+		jitter     = flag.Float64("jitter", 0, "uniform feedback jitter bound, seconds")
+		ingress    = flag.Bool("ingress", false, "mark ECN at ingress instead of egress (DCQCN)")
+		burst      = flag.Bool("burst", false, "TIMELY per-burst pacing")
+		seg        = flag.Int("seg", 0, "TIMELY segment bytes (0: default 16000)")
+		horizon    = flag.Float64("horizon", 0.1, "simulated seconds")
+		sample     = flag.Float64("sample", 1e-4, "output sampling interval, seconds")
+		rates      = flag.String("rates", "", "comma-separated TIMELY start rates, bytes/s")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	bwBytes := *bw / 8
+	nw := ecndelay.NewNetwork(*seed)
+	var mark func() ecndelay.Marker
+	if *proto == "dcqcn" {
+		mark = func() ecndelay.Marker {
+			return &ecndelay.REDMarker{Kmin: 5000, Kmax: 200000, Pmax: 0.01, Ingress: *ingress, Rng: nw.Rng}
+		}
+	}
+	star := ecndelay.NewStar(nw, ecndelay.StarConfig{
+		Senders:        *n,
+		Link:           ecndelay.LinkConfig{Bandwidth: bwBytes, PropDelay: ecndelay.Microsecond},
+		Mark:           mark,
+		CtrlExtraDelay: ecndelay.DurationFromSeconds(*extraDelay),
+		CtrlJitterMax:  ecndelay.DurationFromSeconds(*jitter),
+	})
+
+	var startRates []float64
+	if *rates != "" {
+		for _, f := range strings.Split(*rates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				log.Fatalf("bad -rates: %v", err)
+			}
+			startRates = append(startRates, v)
+		}
+		if len(startRates) != *n {
+			log.Fatalf("-rates has %d entries, -n is %d", len(startRates), *n)
+		}
+	}
+
+	rate := make([]func() float64, *n)
+	switch *proto {
+	case "dcqcn":
+		if _, err := ecndelay.NewDCQCNEndpoint(star.Receiver, ecndelay.DefaultDCQCNProtoParams()); err != nil {
+			log.Fatal(err)
+		}
+		for i, h := range star.Senders {
+			ep, err := ecndelay.NewDCQCNEndpoint(h, ecndelay.DefaultDCQCNProtoParams())
+			if err != nil {
+				log.Fatal(err)
+			}
+			s, err := ep.NewFlow(i, star.Receiver.ID(), -1, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rate[i] = s.Rate
+		}
+	case "timely", "patched":
+		p := ecndelay.DefaultTimelyProtoParams()
+		if *proto == "patched" {
+			p = ecndelay.DefaultPatchedTimelyProtoParams()
+		}
+		p.Burst = *burst
+		if *seg > 0 {
+			p.Seg = *seg
+		}
+		if _, err := ecndelay.NewTimelyEndpoint(star.Receiver, p); err != nil {
+			log.Fatal(err)
+		}
+		for i, h := range star.Senders {
+			ep, err := ecndelay.NewTimelyEndpoint(h, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sr := 0.0
+			if startRates != nil {
+				sr = startRates[i]
+			}
+			s, err := ep.NewFlow(i, star.Receiver.ID(), -1, 0, sr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rate[i] = s.Rate
+		}
+	default:
+		log.Fatalf("unknown -proto %q", *proto)
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	fmt.Fprint(out, "# t\tq_bytes")
+	for i := 0; i < *n; i++ {
+		fmt.Fprintf(out, "\trate%d", i)
+	}
+	fmt.Fprintln(out)
+	nw.Sim.Every(0, ecndelay.DurationFromSeconds(*sample), func() {
+		fmt.Fprintf(out, "%.6f\t%d", nw.Sim.Now().Seconds(), star.Bottleneck.Queue().Bytes())
+		for i := 0; i < *n; i++ {
+			fmt.Fprintf(out, "\t%.6g", rate[i]())
+		}
+		fmt.Fprintln(out)
+	})
+	nw.Sim.RunUntil(ecndelay.Time(ecndelay.DurationFromSeconds(*horizon)))
+}

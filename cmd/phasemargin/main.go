@@ -1,0 +1,132 @@
+// Command phasemargin sweeps the Bode phase margin of the linearised
+// DCQCN or patched TIMELY loop over flow counts and feedback delays,
+// producing the raw numbers behind Figures 3 and 11 as TSV.
+//
+//	phasemargin -model dcqcn -flows 1:64 -delays 1e-6,25e-6,50e-6,85e-6,100e-6
+//	phasemargin -model patched -flows 2:64
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"ecndelay"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("phasemargin: ")
+	var (
+		model  = flag.String("model", "dcqcn", "dcqcn | patched")
+		flows  = flag.String("flows", "1:64", "N range lo:hi or comma list")
+		delays = flag.String("delays", "1e-6,25e-6,50e-6,85e-6,100e-6", "DCQCN τ* values, seconds")
+		rai    = flag.Float64("rai", 0, "DCQCN R_AI override, bits/s (0: default 40e6)")
+		kmax   = flag.Float64("kmax", 0, "DCQCN K_max override, KB (0: default 200)")
+	)
+	flag.Parse()
+
+	ns, err := parseInts(*flows)
+	if err != nil {
+		log.Fatalf("bad -flows: %v", err)
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	switch *model {
+	case "dcqcn":
+		var ds []float64
+		for _, s := range strings.Split(*delays, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				log.Fatalf("bad -delays: %v", err)
+			}
+			ds = append(ds, v)
+		}
+		fmt.Fprint(out, "# N")
+		for _, d := range ds {
+			fmt.Fprintf(out, "\tpm_%.0fus", d*1e6)
+		}
+		fmt.Fprintln(out)
+		for _, n := range ns {
+			fmt.Fprintf(out, "%d", n)
+			for _, d := range ds {
+				p := ecndelay.DefaultDCQCNParams(n)
+				p.TauStar = d
+				if *rai > 0 {
+					p.RAI = *rai / 8 / 1000
+				}
+				if *kmax > 0 {
+					p.Kmax = *kmax
+				}
+				loop, err := ecndelay.NewDCQCNLoop(p)
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err := ecndelay.PhaseMargin(loop)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Fprintf(out, "\t%.2f", res.PhaseMarginDeg)
+			}
+			fmt.Fprintln(out)
+		}
+	case "patched":
+		fmt.Fprintln(out, "# N\tq_star_kb\tpm_deg\tstable")
+		for _, n := range ns {
+			cfg := ecndelay.DefaultPatchedTimelyFluidConfig(n)
+			loop, err := ecndelay.NewPatchedTimelyLoop(cfg)
+			if err != nil {
+				fmt.Fprintf(out, "%d\t-\t-\t%v\n", n, err)
+				continue
+			}
+			res, err := ecndelay.PhaseMargin(loop)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sys, err := ecndelay.NewPatchedTimelyFluid(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(out, "%d\t%.1f\t%.2f\t%v\n",
+				n, sys.FixedPointQueue()/1000, res.PhaseMarginDeg, res.Stable)
+		}
+	default:
+		log.Fatalf("unknown -model %q", *model)
+	}
+}
+
+// parseInts accepts "lo:hi" (inclusive range) or a comma list.
+func parseInts(s string) ([]int, error) {
+	if lo, hi, ok := strings.Cut(s, ":"); ok {
+		a, err := strconv.Atoi(lo)
+		if err != nil {
+			return nil, err
+		}
+		b, err := strconv.Atoi(hi)
+		if err != nil {
+			return nil, err
+		}
+		if a > b {
+			return nil, fmt.Errorf("range %d:%d is backwards", a, b)
+		}
+		var out []int
+		for i := a; i <= b; i++ {
+			out = append(out, i)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestParseIntsRange(t *testing.T) {
+	got, err := parseInts("3:6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseIntsList(t *testing.T) {
+	got, err := parseInts("1, 8,64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 8 || got[2] != 64 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseIntsErrors(t *testing.T) {
+	for _, bad := range []string{"6:3", "a:b", "1,x", ""} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("parseInts(%q) accepted", bad)
+		}
+	}
+}

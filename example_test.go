@@ -1,0 +1,105 @@
+package ecndelay_test
+
+// Testable examples: these run under `go test` and double as the API
+// documentation shown by godoc.
+
+import (
+	"fmt"
+
+	"ecndelay"
+)
+
+// The unique DCQCN operating point of Theorem 1 for two flows at 40 Gb/s.
+func ExampleSolveDCQCNFixedPoint() {
+	params := ecndelay.DefaultDCQCNParams(2)
+	fp, err := ecndelay.SolveDCQCNFixedPoint(params)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("p* = %.3g\n", fp.P)
+	fmt.Printf("q* = %.1f KB\n", fp.Q) // packets of 1 KB
+	fmt.Printf("fair share = %.0f Gb/s\n", fp.RC*1000*8/1e9)
+	// Output:
+	// p* = 0.000777
+	// q* = 20.2 KB
+	// fair share = 20 Gb/s
+}
+
+// The Eq. 31 fixed-point queue for patched TIMELY grows linearly with the
+// number of flows.
+func ExamplePatchedTimelyQStar() {
+	c := 10e9 / 8.0     // bottleneck, bytes/s
+	qPrime := c * 50e-6 // reference queue: C · T_low
+	delta := 10e6 / 8.0 // additive step, bytes/s
+	beta := 0.008
+	for _, n := range []int{1, 2, 4} {
+		q := ecndelay.PatchedTimelyQStar(n, delta, beta, c, qPrime)
+		fmt.Printf("N=%d: q* = %.0f bytes\n", n, q)
+	}
+	// Output:
+	// N=1: q* = 70312 bytes
+	// N=2: q* = 78125 bytes
+	// N=4: q* = 93750 bytes
+}
+
+// DCQCN's mid-N instability at high feedback delay (Figure 3a): the Bode
+// analysis flags 8 flows at 85 µs as unstable while 64 flows are fine.
+func ExamplePhaseMargin() {
+	for _, n := range []int{1, 8, 64} {
+		p := ecndelay.DefaultDCQCNParams(n)
+		p.TauStar = 85e-6
+		loop, err := ecndelay.NewDCQCNLoop(p)
+		if err != nil {
+			panic(err)
+		}
+		res, err := ecndelay.PhaseMargin(loop)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("N=%d: stable=%v\n", n, res.Stable)
+	}
+	// Output:
+	// N=1: stable=true
+	// N=8: stable=false
+	// N=64: stable=true
+}
+
+// Theorem 2's exponential convergence: the peak-rate gap between two flows
+// contracts every AIMD cycle.
+func ExampleRunConvergence() {
+	cfg := ecndelay.DefaultConvergenceConfig(2)
+	cfg.InitialRates = []float64{4e6, 1e6}
+	cycles, err := ecndelay.RunConvergence(cfg, 40)
+	if err != nil {
+		panic(err)
+	}
+	rate := ecndelay.GapDecayRate(cycles, 1)
+	alphaStar, _, err := ecndelay.AlphaFixedPoint(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("contracts every cycle: %v\n", rate < 1)
+	fmt.Printf("at least as fast as 1-α*/2: %v\n", rate <= 1-alphaStar/2+0.02)
+	// Output:
+	// contracts every cycle: true
+	// at least as fast as 1-α*/2: true
+}
+
+// The §5.1 workload: heavy-tailed web-search flow sizes.
+func ExampleWebSearchSizes() {
+	ws := ecndelay.WebSearchSizes()
+	fmt.Printf("mean = %.2f MB\n", ws.Mean()/1e6)
+	fmt.Printf("median = %.0f KB\n", ws.Quantile(0.5)/1e3)
+	// Output:
+	// mean = 1.14 MB
+	// median = 48 KB
+}
+
+// Jain's fairness index distinguishes a fair split from a frozen unfair one.
+func ExampleJainIndex() {
+	fmt.Printf("fair:   %.3f\n", ecndelay.JainIndex([]float64{5e8, 5e8}))
+	fmt.Printf("unfair: %.3f\n", ecndelay.JainIndex([]float64{8e8, 2e8}))
+	// Output:
+	// fair:   1.000
+	// unfair: 0.735
+}

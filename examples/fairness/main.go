@@ -1,0 +1,76 @@
+// Fairness: TIMELY's infinitely many fixed points versus the §4.3 patch.
+//
+// Two flows start at 7 Gb/s and 3 Gb/s on a 10 Gb/s bottleneck. Under
+// original TIMELY (Theorem 4) the unfair split freezes: the RTT gradient
+// goes to zero with the queue anywhere inside the (T_low, T_high) band and
+// nothing ever equalises the rates. Patched TIMELY (Algorithm 2) feeds the
+// absolute queue into the rate law, creating the unique fair fixed point
+// of Theorem 5 with the Eq. 31 queue.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecndelay"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	run := func(patched bool) []ecndelay.FluidSample {
+		cfg := ecndelay.DefaultTimelyFluidConfig(2)
+		if patched {
+			cfg = ecndelay.DefaultPatchedTimelyFluidConfig(2)
+		}
+		cfg.InitialRates = []float64{7e9 / 8, 3e9 / 8}
+		var sys ecndelay.FluidModel
+		if patched {
+			m, err := ecndelay.NewPatchedTimelyFluid(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sys = m
+		} else {
+			m, err := ecndelay.NewTimelyFluid(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sys = m
+		}
+		return ecndelay.RunFluid(sys, 1e-6, 0.5, 0.05)
+	}
+
+	gbps := func(bytesPerSec float64) float64 { return bytesPerSec * 8 / 1e9 }
+
+	fmt.Println("Two TIMELY flows, 7 Gb/s and 3 Gb/s starts (fluid model)")
+	fmt.Println()
+	fmt.Printf("%-8s | %-25s | %-25s\n", "", "original TIMELY", "patched TIMELY")
+	fmt.Printf("%-8s | %-12s %-12s | %-12s %-12s\n", "t (ms)", "R1 (Gb/s)", "R2 (Gb/s)", "R1 (Gb/s)", "R2 (Gb/s)")
+
+	orig := run(false)
+	patch := run(true)
+	// State layout for both TIMELY fluids: y[0]=queue, y[1]=R1, y[3]=R2.
+	for i := range orig {
+		fmt.Printf("%-8.0f | %-12.2f %-12.2f | %-12.2f %-12.2f\n",
+			orig[i].T*1e3,
+			gbps(orig[i].Y[1]), gbps(orig[i].Y[3]),
+			gbps(patch[i].Y[1]), gbps(patch[i].Y[3]))
+	}
+
+	lo, po := orig[len(orig)-1], patch[len(patch)-1]
+	fmt.Println()
+	fmt.Printf("original TIMELY end ratio: %.2f (unfairness frozen — Theorem 4)\n", lo.Y[1]/lo.Y[3])
+	fmt.Printf("patched TIMELY end ratio:  %.2f (fair — Theorem 5)\n", po.Y[1]/po.Y[3])
+
+	// The patched fixed-point queue is exactly Eq. 31.
+	c := 10e9 / 8.0
+	qStar := ecndelay.PatchedTimelyQStar(2, 10e6/8, 0.008, c, c*50e-6)
+	fmt.Printf("patched queue: %.1f KB measured vs %.1f KB from Eq. 31\n",
+		po.Y[0]/1000, qStar/1000)
+
+	// Jain's index over the final rates.
+	fmt.Printf("Jain index: original %.3f, patched %.3f\n",
+		ecndelay.JainIndex([]float64{lo.Y[1], lo.Y[3]}),
+		ecndelay.JainIndex([]float64{po.Y[1], po.Y[3]}))
+}

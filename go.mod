@@ -1,0 +1,3 @@
+module ecndelay
+
+go 1.22

@@ -1,0 +1,332 @@
+// Package dcqcn implements the DCQCN protocol endpoints of §3 for the
+// packet-level simulator: the reaction point (RP, sender-side rate control
+// with fast recovery, additive and hyper increase), and the notification
+// point (NP, receiver-side CNP generation). The congestion point (CP) is
+// the RED/ECN marking switch in internal/netsim.
+package dcqcn
+
+import (
+	"errors"
+	"fmt"
+
+	"ecndelay/internal/des"
+	"ecndelay/internal/netsim"
+)
+
+// Params are the DCQCN knobs of [31] (Table 1), in wire units: rates in
+// bytes/second, the byte counter in bytes.
+type Params struct {
+	G           float64      // α gain (1/256)
+	CNPInterval des.Duration // τ: minimum gap between CNPs per flow (50 µs)
+	AlphaTimer  des.Duration // τ': α decay interval without feedback (55 µs)
+	RateTimer   des.Duration // T: rate-increase timer (55 µs)
+	ByteCounter int64        // B: rate-increase byte counter (10 MB)
+	F           int          // fast recovery stages (5)
+	RAI         float64      // additive increase step, bytes/s (40 Mb/s)
+	RHAI        float64      // hyper increase step, bytes/s (200 Mb/s)
+	MinRate     float64      // rate floor, bytes/s
+}
+
+// DefaultParams returns the [31] defaults.
+func DefaultParams() Params {
+	return Params{
+		G:           1.0 / 256,
+		CNPInterval: 50 * des.Microsecond,
+		AlphaTimer:  55 * des.Microsecond,
+		RateTimer:   55 * des.Microsecond,
+		ByteCounter: 10e6,
+		F:           5,
+		RAI:         40e6 / 8,
+		RHAI:        200e6 / 8,
+		MinRate:     1e6 / 8,
+	}
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	switch {
+	case p.G <= 0 || p.G >= 1:
+		return errors.New("dcqcn: g must be in (0,1)")
+	case p.CNPInterval <= 0 || p.AlphaTimer <= 0 || p.RateTimer <= 0:
+		return errors.New("dcqcn: timers must be positive")
+	case p.AlphaTimer <= p.CNPInterval:
+		return errors.New("dcqcn: τ' must exceed the CNP generation timer τ")
+	case p.ByteCounter <= 0 || p.F <= 0:
+		return errors.New("dcqcn: byte counter and F must be positive")
+	case p.RAI <= 0 || p.RHAI < p.RAI:
+		return errors.New("dcqcn: need 0 < RAI <= RHAI")
+	case p.MinRate <= 0:
+		return errors.New("dcqcn: MinRate must be positive")
+	}
+	return nil
+}
+
+// Completion reports a finished flow at the receiver.
+type Completion struct {
+	Flow  int
+	Bytes int64
+	At    des.Time
+}
+
+// Endpoint is the per-host DCQCN engine: it owns the sending flows (RP
+// role) and the receiving state (NP role) and attaches to a host as its
+// Transport.
+type Endpoint struct {
+	host  *netsim.Host
+	p     Params
+	flows map[int]*Sender
+	np    map[int]*npState
+
+	rxBytes map[int]int64
+	// OnComplete, if set, fires when a flow's last packet arrives here.
+	OnComplete func(Completion)
+}
+
+type npState struct {
+	lastCNP des.Time
+	sent    bool
+}
+
+// NewEndpoint attaches a DCQCN engine to h.
+func NewEndpoint(h *netsim.Host, p Params) (*Endpoint, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Endpoint{
+		host: h, p: p,
+		flows:   make(map[int]*Sender),
+		np:      make(map[int]*npState),
+		rxBytes: make(map[int]int64),
+	}
+	h.Transport = e
+	return e, nil
+}
+
+// Host returns the attached host.
+func (e *Endpoint) Host() *netsim.Host { return e.host }
+
+// Handle implements netsim.Transport.
+func (e *Endpoint) Handle(h *netsim.Host, pkt *netsim.Packet) {
+	switch pkt.Kind {
+	case netsim.Data:
+		e.handleData(pkt)
+	case netsim.CNP:
+		if s, ok := e.flows[pkt.Flow]; ok {
+			s.onCNP()
+		}
+	}
+}
+
+// handleData is the NP role plus completion tracking.
+func (e *Endpoint) handleData(pkt *netsim.Packet) {
+	e.rxBytes[pkt.Flow] += int64(pkt.Size)
+	if pkt.CE {
+		st := e.np[pkt.Flow]
+		if st == nil {
+			st = &npState{}
+			e.np[pkt.Flow] = st
+		}
+		now := e.host.Now()
+		if !st.sent || now.Sub(st.lastCNP) >= e.p.CNPInterval {
+			st.sent = true
+			st.lastCNP = now
+			e.host.Send(&netsim.Packet{
+				Flow: pkt.Flow, Dst: pkt.Src,
+				Size: netsim.CtrlSize, Kind: netsim.CNP,
+			})
+		}
+	}
+	if pkt.Last && e.OnComplete != nil {
+		e.OnComplete(Completion{Flow: pkt.Flow, Bytes: e.rxBytes[pkt.Flow], At: e.host.Now()})
+	}
+}
+
+// Sender is the reaction point for one flow.
+type Sender struct {
+	e    *Endpoint
+	id   int
+	dst  int
+	size int64 // total bytes to send; <0 means unbounded
+
+	rc, rt float64
+	alpha  float64
+
+	bcStage, tStage int
+	bcBytes         int64
+
+	sent    int64
+	done    bool
+	started bool
+
+	alphaEv *des.Event
+	timerEv *des.Event
+	sendEv  *des.Event
+
+	// RateSeries, if non-nil, records (t, rc) on every rate change.
+	RateHook func(t des.Time, rate float64)
+}
+
+// NewFlow registers a sending flow of size bytes (size < 0: run forever)
+// toward the host dst, starting at the given time. DCQCN flows start at
+// line rate.
+func (e *Endpoint) NewFlow(id int, dst int, size int64, start des.Time) (*Sender, error) {
+	if _, dup := e.flows[id]; dup {
+		return nil, fmt.Errorf("dcqcn: duplicate flow id %d", id)
+	}
+	s := &Sender{e: e, id: id, dst: dst, size: size}
+	e.flows[id] = s
+	e.host.Net().Sim.At(start, s.start)
+	return s, nil
+}
+
+// Rate returns the current sending rate in bytes/s.
+func (s *Sender) Rate() float64 { return s.rc }
+
+// TargetRate returns the current target rate in bytes/s.
+func (s *Sender) TargetRate() float64 { return s.rt }
+
+// Alpha returns the current α.
+func (s *Sender) Alpha() float64 { return s.alpha }
+
+// Done reports whether all bytes have been handed to the NIC.
+func (s *Sender) Done() bool { return s.done }
+
+// SentBytes reports bytes handed to the NIC so far.
+func (s *Sender) SentBytes() int64 { return s.sent }
+
+func (s *Sender) start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.rc = s.e.host.LineRate()
+	s.rt = s.rc
+	s.alpha = 1
+	s.armAlphaTimer()
+	s.armRateTimer()
+	s.sendNext()
+}
+
+func (s *Sender) noteRate() {
+	if s.RateHook != nil {
+		s.RateHook(s.e.host.Now(), s.rc)
+	}
+}
+
+func (s *Sender) sendNext() {
+	if s.done {
+		return
+	}
+	size := int64(netsim.DataMTU)
+	last := false
+	if s.size >= 0 {
+		remain := s.size - s.sent
+		if remain <= 0 {
+			s.finish()
+			return
+		}
+		if remain <= size {
+			size = remain
+			last = true
+		}
+	}
+	s.e.host.Send(&netsim.Packet{
+		Flow: s.id, Dst: s.dst, Size: int(size),
+		Kind: netsim.Data, ECT: true, Seq: s.sent, Last: last,
+	})
+	s.sent += size
+	s.onBytesSent(size)
+	if last {
+		s.finish()
+		return
+	}
+	gap := des.DurationFromSeconds(float64(size) / s.rc)
+	s.sendEv = s.e.host.Net().Sim.Schedule(gap, s.sendNext)
+}
+
+func (s *Sender) finish() {
+	s.done = true
+	if s.alphaEv != nil {
+		s.alphaEv.Cancel()
+	}
+	if s.timerEv != nil {
+		s.timerEv.Cancel()
+	}
+}
+
+// onBytesSent advances the rate-increase byte counter (stage events every
+// ByteCounter bytes).
+func (s *Sender) onBytesSent(n int64) {
+	s.bcBytes += n
+	for s.bcBytes >= s.e.p.ByteCounter {
+		s.bcBytes -= s.e.p.ByteCounter
+		s.bcStage++
+		s.increase()
+	}
+}
+
+func (s *Sender) armAlphaTimer() {
+	if s.alphaEv != nil {
+		s.alphaEv.Cancel()
+	}
+	s.alphaEv = s.e.host.Net().Sim.Schedule(s.e.p.AlphaTimer, func() {
+		// Eq. 2: no feedback for τ' → α decays.
+		s.alpha *= 1 - s.e.p.G
+		s.armAlphaTimer()
+	})
+}
+
+func (s *Sender) armRateTimer() {
+	if s.timerEv != nil {
+		s.timerEv.Cancel()
+	}
+	s.timerEv = s.e.host.Net().Sim.Schedule(s.e.p.RateTimer, func() {
+		s.tStage++
+		s.increase()
+		s.armRateTimer()
+	})
+}
+
+// onCNP is the Eq. 1 multiplicative decrease plus state reset.
+func (s *Sender) onCNP() {
+	if s.done || !s.started {
+		return
+	}
+	s.rt = s.rc
+	s.rc *= 1 - s.alpha/2
+	if s.rc < s.e.p.MinRate {
+		s.rc = s.e.p.MinRate
+	}
+	s.alpha = (1-s.e.p.G)*s.alpha + s.e.p.G
+	s.bcStage, s.tStage = 0, 0
+	s.bcBytes = 0
+	s.armAlphaTimer()
+	s.armRateTimer()
+	s.noteRate()
+}
+
+// increase runs one QCN-style rate increase event: five stages of fast
+// recovery toward R_T, then additive increase, then hyper increase once
+// both counters are past F.
+func (s *Sender) increase() {
+	if s.done {
+		return
+	}
+	switch {
+	case s.bcStage <= s.e.p.F && s.tStage <= s.e.p.F:
+		// Fast recovery: halve the gap to the target.
+	case s.bcStage > s.e.p.F && s.tStage > s.e.p.F:
+		s.rt += s.e.p.RHAI
+	default:
+		s.rt += s.e.p.RAI
+	}
+	line := s.e.host.LineRate()
+	if s.rt > line {
+		s.rt = line
+	}
+	s.rc = (s.rc + s.rt) / 2
+	if s.rc > line {
+		s.rc = line
+	}
+	s.noteRate()
+}

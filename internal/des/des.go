@@ -1,0 +1,227 @@
+// Package des provides a deterministic discrete-event simulation engine.
+//
+// The engine is the foundation of the packet-level network simulator: it owns
+// a virtual clock with nanosecond resolution and a priority queue of pending
+// events. Events scheduled for the same instant fire in the order they were
+// scheduled, which keeps runs bit-for-bit reproducible.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is an absolute simulation time in nanoseconds since the start of the
+// run. The zero value is the beginning of the simulation.
+type Time int64
+
+// Duration is a span of simulation time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring the time package but for simulation time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds reports the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Seconds reports the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// DurationFromSeconds converts seconds to a Duration, rounding to the nearest
+// nanosecond.
+func DurationFromSeconds(s float64) Duration {
+	if s < 0 {
+		return Duration(s*1e9 - 0.5)
+	}
+	return Duration(s*1e9 + 0.5)
+}
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string     { return fmt.Sprintf("%.6fms", float64(t)/1e6) }
+func (d Duration) String() string { return fmt.Sprintf("%.3fus", float64(d)/1e3) }
+
+// Event is a handle to a scheduled callback. It can be cancelled before it
+// fires; cancelling a fired or already-cancelled event is a no-op.
+type Event struct {
+	time      Time
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 once removed
+	cancelled bool
+}
+
+// Time reports when the event is (or was) scheduled to fire.
+func (e *Event) Time() Time { return e.time }
+
+// Cancel prevents the event from firing. It is safe to call at any point.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel has been called.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and event queue. The zero value is ready
+// to use.
+type Simulator struct {
+	now       Time
+	queue     eventHeap
+	seq       uint64
+	processed uint64
+	running   bool
+	stopped   bool
+}
+
+// New returns a fresh simulator with the clock at zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now reports the current simulation time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Processed reports how many events have fired so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Pending reports how many events are queued (including cancelled ones that
+// have not been drained yet).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule runs fn after delay d. A negative delay is an error in the caller;
+// it panics to surface the bug immediately.
+func (s *Simulator) Schedule(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %v at %v", d, s.now))
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// At runs fn at absolute time t, which must not be in the past.
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("des: schedule in the past: %v < %v", t, s.now))
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Stop makes Run and RunUntil return after the current event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run processes events until the queue is empty or Stop is called. The clock
+// finishes at the time of the last fired event.
+func (s *Simulator) Run() { s.run(Time(1<<63-1), false) }
+
+// RunUntil processes events with time <= end, advancing the clock as it goes.
+// The clock finishes at end (or at the last fired event if Stop was called).
+// It returns the number of events fired by this call.
+func (s *Simulator) RunUntil(end Time) uint64 { return s.run(end, true) }
+
+func (s *Simulator) run(end Time, advance bool) uint64 {
+	if s.running {
+		panic("des: RunUntil re-entered from within an event")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+	var fired uint64
+	for len(s.queue) > 0 && !s.stopped {
+		e := s.queue[0]
+		if e.time > end {
+			break
+		}
+		heap.Pop(&s.queue)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.time
+		e.fn()
+		s.processed++
+		fired++
+	}
+	if advance && s.now < end && !s.stopped {
+		// Advance the clock even if no event lands exactly at end, so a
+		// subsequent Schedule(0, ...) happens at the requested horizon.
+		if len(s.queue) == 0 || s.queue[0].time > end {
+			s.now = end
+		}
+	}
+	return fired
+}
+
+// Every schedules fn to run at t0 and then every period thereafter until the
+// returned Ticker is stopped. fn runs before the next firing is scheduled, so
+// it may safely stop the ticker.
+func (s *Simulator) Every(t0 Time, period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("des: non-positive ticker period")
+	}
+	tk := &Ticker{sim: s, period: period, fn: fn}
+	tk.ev = s.At(t0, tk.fire)
+	return tk
+}
+
+// Ticker is a repeating event created by Every.
+type Ticker struct {
+	sim     *Simulator
+	period  Duration
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+func (tk *Ticker) fire() {
+	if tk.stopped {
+		return
+	}
+	tk.fn()
+	if tk.stopped {
+		return
+	}
+	tk.ev = tk.sim.Schedule(tk.period, tk.fire)
+}
+
+// Stop cancels all future firings.
+func (tk *Ticker) Stop() {
+	tk.stopped = true
+	if tk.ev != nil {
+		tk.ev.Cancel()
+	}
+}

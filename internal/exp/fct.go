@@ -1,0 +1,210 @@
+package exp
+
+import (
+	"fmt"
+
+	"ecndelay/internal/dcqcn"
+	"ecndelay/internal/des"
+	"ecndelay/internal/netsim"
+	"ecndelay/internal/stats"
+	"ecndelay/internal/timely"
+	"ecndelay/internal/workload"
+)
+
+// Protocol selects the congestion control scheme for the FCT experiments.
+type Protocol int
+
+// The three schemes Figure 14-16 compare.
+const (
+	ProtoDCQCN Protocol = iota
+	ProtoTimely
+	ProtoPatchedTimely
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtoDCQCN:
+		return "DCQCN"
+	case ProtoTimely:
+		return "TIMELY"
+	case ProtoPatchedTimely:
+		return "Patched TIMELY"
+	}
+	return "?"
+}
+
+// FCTConfig drives one §5.1 flow-completion-time run on the Figure 13
+// dumbbell (10 senders, 10 receivers, all links 10 Gb/s with 1 µs latency).
+type FCTConfig struct {
+	Protocol   Protocol
+	LoadFactor float64 // 1.0 = 8 Gb/s average on the bottleneck
+	Horizon    float64 // seconds of workload generation
+	Warmup     float64 // flows starting earlier are excluded from stats
+	Drain      float64 // extra simulated seconds to let flows finish
+	Seed       int64
+	Senders    int   // default 10
+	Receivers  int   // default 10
+	SmallBytes int64 // small-flow threshold, default 100 KB
+	// TimelyPerPacket switches TIMELY to idealised per-packet pacing;
+	// the default (false) is the implementation's per-burst chunk pacing.
+	TimelyPerPacket bool
+	// TimelySeg overrides the TIMELY segment/chunk size in bytes.
+	TimelySeg int
+	// TimelyHAI enables hyper-active increase (part of Algorithm 1 in
+	// [21]; the fluid analysis ignores it).
+	TimelyHAI bool
+	// TimelyGradClamp bounds the normalised gradient (see timely.Params).
+	TimelyGradClamp float64
+	// QueueSampleEvery controls bottleneck queue monitoring (default 100µs).
+	QueueSampleEvery des.Duration
+}
+
+// FCTResult aggregates one run.
+type FCTResult struct {
+	SmallFCT  []float64 // seconds, flows < SmallBytes
+	AllFCT    []float64
+	Generated int
+	Completed int
+	Queue     *stats.Series // bottleneck occupancy, bytes
+	// Utilisation is delivered bottleneck bytes over capacity×time in
+	// [Warmup, Horizon].
+	Utilisation float64
+}
+
+// RunFCT executes the experiment.
+func RunFCT(cfg FCTConfig) (*FCTResult, error) {
+	if cfg.Senders == 0 {
+		cfg.Senders = 10
+	}
+	if cfg.Receivers == 0 {
+		cfg.Receivers = 10
+	}
+	if cfg.SmallBytes == 0 {
+		cfg.SmallBytes = 100e3
+	}
+	if cfg.QueueSampleEvery == 0 {
+		cfg.QueueSampleEvery = 100 * des.Microsecond
+	}
+	if cfg.LoadFactor <= 0 || cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("exp: bad FCT config %+v", cfg)
+	}
+
+	const linkBW = 10e9 / 8 // bytes/s
+	nw := netsim.New(cfg.Seed)
+	var marker netsim.MarkerFactory
+	if cfg.Protocol == ProtoDCQCN {
+		marker = func() netsim.Marker {
+			return &netsim.REDMarker{Kmin: 5000, Kmax: 200000, Pmax: 0.01, Rng: nw.Rng}
+		}
+	}
+	d := netsim.NewDumbbell(nw, netsim.DumbbellConfig{
+		Senders: cfg.Senders, Receivers: cfg.Receivers,
+		Link: netsim.LinkConfig{Bandwidth: linkBW, PropDelay: des.Microsecond},
+		Mark: marker,
+	})
+
+	flows, err := workload.Generate(workload.Config{
+		Load:    cfg.LoadFactor * 1e9, // load 1.0 = 8 Gb/s = 1e9 B/s
+		Sizes:   workload.WebSearch(),
+		Senders: cfg.Senders, Receivers: cfg.Receivers,
+		Horizon: cfg.Horizon,
+		Seed:    cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &FCTResult{Generated: len(flows)}
+	start := make(map[int]float64, len(flows))
+	size := make(map[int]int64, len(flows))
+	for _, f := range flows {
+		start[f.ID] = f.Start
+		size[f.ID] = f.Size
+	}
+	complete := func(flowID int, at des.Time) {
+		s, ok := start[flowID]
+		if !ok {
+			return
+		}
+		res.Completed++
+		if s < cfg.Warmup {
+			return
+		}
+		fct := at.Seconds() - s
+		res.AllFCT = append(res.AllFCT, fct)
+		if size[flowID] < cfg.SmallBytes {
+			res.SmallFCT = append(res.SmallFCT, fct)
+		}
+	}
+
+	// Attach protocol endpoints and schedule the flows.
+	switch cfg.Protocol {
+	case ProtoDCQCN:
+		params := dcqcn.DefaultParams()
+		var eps []*dcqcn.Endpoint
+		for _, h := range d.Senders {
+			ep, err := dcqcn.NewEndpoint(h, params)
+			if err != nil {
+				return nil, err
+			}
+			eps = append(eps, ep)
+		}
+		for _, h := range d.Receivers {
+			ep, err := dcqcn.NewEndpoint(h, params)
+			if err != nil {
+				return nil, err
+			}
+			ep.OnComplete = func(c dcqcn.Completion) { complete(c.Flow, c.At) }
+		}
+		for _, f := range flows {
+			if _, err := eps[f.Sender].NewFlow(f.ID, d.Receivers[f.Recv].ID(),
+				f.Size, des.Time(des.DurationFromSeconds(f.Start))); err != nil {
+				return nil, err
+			}
+		}
+	case ProtoTimely, ProtoPatchedTimely:
+		// The TIMELY implementation paces 16-64 KB chunks at line rate
+		// (§4.2); the FCT comparison runs it as deployed.
+		params := timely.DefaultParams()
+		if cfg.Protocol == ProtoPatchedTimely {
+			params = timely.DefaultPatchedParams()
+		}
+		params.Burst = cfg.TimelyPerPacket == false
+		if cfg.TimelySeg > 0 {
+			params.Seg = cfg.TimelySeg
+		}
+		params.HAI = cfg.TimelyHAI
+		params.GradClamp = cfg.TimelyGradClamp
+		var eps []*timely.Endpoint
+		for _, h := range d.Senders {
+			ep, err := timely.NewEndpoint(h, params)
+			if err != nil {
+				return nil, err
+			}
+			eps = append(eps, ep)
+		}
+		for _, h := range d.Receivers {
+			ep, err := timely.NewEndpoint(h, params)
+			if err != nil {
+				return nil, err
+			}
+			ep.OnComplete = func(c timely.Completion) { complete(c.Flow, c.At) }
+		}
+		for _, f := range flows {
+			if _, err := eps[f.Sender].NewFlow(f.ID, d.Receivers[f.Recv].ID(),
+				f.Size, des.Time(des.DurationFromSeconds(f.Start)), 0); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("exp: unknown protocol %v", cfg.Protocol)
+	}
+
+	res.Queue = netsim.MonitorQueueBytes(nw.Sim, d.Bottleneck, cfg.QueueSampleEvery)
+	var txAtWarm, txAtEnd int64
+	nw.Sim.At(des.Time(des.DurationFromSeconds(cfg.Warmup)), func() { txAtWarm = d.Bottleneck.TxBytes })
+	nw.Sim.At(des.Time(des.DurationFromSeconds(cfg.Horizon)), func() { txAtEnd = d.Bottleneck.TxBytes })
+	nw.Sim.RunUntil(des.Time(des.DurationFromSeconds(cfg.Horizon + cfg.Drain)))
+	res.Utilisation = float64(txAtEnd-txAtWarm) / (linkBW * (cfg.Horizon - cfg.Warmup))
+	return res, nil
+}

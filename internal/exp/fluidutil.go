@@ -1,0 +1,31 @@
+package exp
+
+import (
+	"ecndelay/internal/fluid"
+	"ecndelay/internal/stats"
+)
+
+// lateStats summarises one state component of a fluid trajectory over the
+// tail window t >= tFrom.
+func lateStats(samples []fluid.Sample, idx int, tFrom float64) stats.Summary {
+	var vals []float64
+	for _, s := range samples {
+		if s.T >= tFrom {
+			vals = append(vals, s.Y[idx])
+		}
+	}
+	return stats.Summarize(vals)
+}
+
+// runDCQCNFluid integrates the DCQCN fluid model and summarises the tail.
+func runDCQCNFluid(n int, tauStar, horizon float64, jitter float64, seed int64) (q stats.Summary, r0 stats.Summary, err error) {
+	p := fluid.DefaultDCQCNParams(n)
+	p.TauStar = tauStar
+	sys, err := fluid.NewDCQCN(fluid.DCQCNConfig{Params: p, JitterMax: jitter, Seed: seed})
+	if err != nil {
+		return stats.Summary{}, stats.Summary{}, err
+	}
+	sm := fluid.Run(sys, 1e-6, horizon, 1e-4)
+	tail := horizon * 0.6
+	return lateStats(sm, sys.QIndex(), tail), lateStats(sm, sys.RCIndex(0), tail), nil
+}

@@ -1,0 +1,178 @@
+// Package fixedpoint computes the steady-state operating points the paper
+// derives: the unique DCQCN fixed point (Theorem 1, Eq. 9-14) and the patched
+// TIMELY fixed point (Theorem 5, Eq. 31), plus the generic scalar
+// root-finding they need.
+package fixedpoint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoBracket is returned when the supplied interval does not bracket a
+// sign change.
+var ErrNoBracket = errors.New("fixedpoint: interval does not bracket a root")
+
+// Bisect finds a root of f within [lo, hi] to absolute tolerance tol on the
+// argument. f(lo) and f(hi) must have opposite signs (zero endpoints are
+// returned directly).
+func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if math.Signbit(flo) == math.Signbit(fhi) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, lo, flo, hi, fhi)
+	}
+	for hi-lo > tol {
+		mid := lo + (hi-lo)/2
+		if mid == lo || mid == hi {
+			break // float resolution reached
+		}
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if math.Signbit(fm) == math.Signbit(flo) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// Pow1mp computes (1-p)^x accurately for small p via exp(x*log1p(-p)).
+func Pow1mp(p, x float64) float64 { return math.Exp(x * math.Log1p(-p)) }
+
+// Expm1Pow computes (1-p)^x - 1 accurately for small p.
+func Expm1Pow(p, x float64) float64 { return math.Expm1(x * math.Log1p(-p)) }
+
+// DCQCNParams are the fluid-model parameters of Table 1. Rates are in
+// packets/second and buffer quantities in packets, so the per-packet marking
+// probability p composes directly with them.
+type DCQCNParams struct {
+	N        int     // flows sharing the bottleneck
+	C        float64 // bottleneck capacity, packets/s
+	RAI      float64 // additive increase step, packets/s
+	Tau      float64 // CNP generation timer τ, s
+	TauPrime float64 // α update interval τ', s
+	T        float64 // rate-increase timer, s
+	B        float64 // byte counter, packets
+	F        float64 // fast recovery stages (5)
+	Kmin     float64 // RED min threshold, packets
+	Kmax     float64 // RED max threshold, packets
+	Pmax     float64 // RED max marking probability
+	G        float64 // DCTCP-style gain g
+	TauStar  float64 // control loop (feedback) delay τ*, s
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (p DCQCNParams) Validate() error {
+	switch {
+	case p.N <= 0:
+		return errors.New("dcqcn params: N must be positive")
+	case p.C <= 0, p.RAI <= 0:
+		return errors.New("dcqcn params: rates must be positive")
+	case p.Tau <= 0, p.TauPrime <= 0, p.T <= 0:
+		return errors.New("dcqcn params: timers must be positive")
+	case p.B <= 0, p.F <= 0:
+		return errors.New("dcqcn params: byte counter and F must be positive")
+	case p.Kmax <= p.Kmin, p.Kmin < 0:
+		return errors.New("dcqcn params: need 0 <= Kmin < Kmax")
+	case p.Pmax <= 0 || p.Pmax > 1:
+		return errors.New("dcqcn params: Pmax must be in (0,1]")
+	case p.G <= 0 || p.G >= 1:
+		return errors.New("dcqcn params: g must be in (0,1)")
+	}
+	return nil
+}
+
+// DCQCNFixedPoint is the unique operating point of Theorem 1.
+type DCQCNFixedPoint struct {
+	P     float64 // marking probability p*
+	Q     float64 // queue length q*, packets (Eq. 9)
+	Alpha float64 // α* (Eq. 10)
+	RC    float64 // per-flow rate C/N, packets/s
+	RT    float64 // target rate at the fixed point, packets/s
+}
+
+// dcqcnABCDE evaluates the a,b,c,d,e terms of Eq. 12 at marking
+// probability p and per-flow rate rc.
+func dcqcnABCDE(pr DCQCNParams, p, rc float64) (a, b, c, d, e float64) {
+	a = -Expm1Pow(p, pr.Tau*rc) // 1-(1-p)^{τ rc}
+	denB := Expm1Pow(p, -pr.B)  // (1-p)^{-B} - 1
+	b = p / denB
+	c = Pow1mp(p, pr.F*pr.B) * p / denB
+	denT := Expm1Pow(p, -pr.T*rc) // (1-p)^{-T rc} - 1
+	d = p / denT
+	e = Pow1mp(p, pr.F*pr.T*rc) * p / denT
+	return
+}
+
+// DCQCNResidual is the left-hand side minus right-hand side of Eq. 11 at
+// marking probability p with per-flow rate rc = C/N. It is negative for
+// p below the fixed point and positive above it.
+func DCQCNResidual(pr DCQCNParams, p float64) float64 {
+	rc := pr.C / float64(pr.N)
+	a, b, c, d, e := dcqcnABCDE(pr, p, rc)
+	alpha := -Expm1Pow(p, pr.TauPrime*rc)
+	return a*a*alpha/((b+d)*(c+e)) - pr.Tau*pr.Tau*pr.RAI*rc
+}
+
+// SolveDCQCN finds the unique fixed point of Theorem 1 by bisection of
+// Eq. 11 over p in (0, 1).
+func SolveDCQCN(pr DCQCNParams) (DCQCNFixedPoint, error) {
+	if err := pr.Validate(); err != nil {
+		return DCQCNFixedPoint{}, err
+	}
+	rc := pr.C / float64(pr.N)
+	f := func(p float64) float64 { return DCQCNResidual(pr, p) }
+	p, err := Bisect(f, 1e-12, 1-1e-9, 1e-14)
+	if err != nil {
+		return DCQCNFixedPoint{}, fmt.Errorf("dcqcn fixed point: %w", err)
+	}
+	fp := DCQCNFixedPoint{
+		P:     p,
+		Q:     p/pr.Pmax*(pr.Kmax-pr.Kmin) + pr.Kmin, // Eq. 9
+		Alpha: -Expm1Pow(p, pr.TauPrime*rc),          // Eq. 10
+		RC:    rc,
+	}
+	// R_T* from dR_T/dt = 0 (see the derivation of Eq. 11):
+	// (R_T - R_C) a/τ = R_AI R_C (c+e).
+	a, _, c, _, e := dcqcnABCDE(pr, p, rc)
+	fp.RT = rc + pr.Tau*pr.RAI*rc*(c+e)/a
+	return fp, nil
+}
+
+// DCQCNPStarApprox is the closed-form Taylor approximation of p* (Eq. 14):
+//
+//	p* ≈ cbrt( R_AI N² / (τ' C²) · (1/B + N/(T C))² ).
+func DCQCNPStarApprox(pr DCQCNParams) float64 {
+	n := float64(pr.N)
+	inner := 1/pr.B + n/(pr.T*pr.C)
+	return math.Cbrt(pr.RAI * n * n / (pr.TauPrime * pr.C * pr.C) * inner * inner)
+}
+
+// QFromP maps a marking probability to the RED steady-state queue (Eq. 9).
+func (pr DCQCNParams) QFromP(p float64) float64 {
+	return p/pr.Pmax*(pr.Kmax-pr.Kmin) + pr.Kmin
+}
+
+// PatchedTimelyQStar is the patched-TIMELY fixed-point queue of Eq. 31:
+//
+//	q* = N δ q' / (β C) + q'
+//
+// with q' the reference queue (C·T_low in the paper), δ the additive step,
+// β the decrease factor and C the bottleneck capacity. Any consistent unit
+// system works (the paper uses bytes and bytes/second).
+func PatchedTimelyQStar(n int, delta, beta, c, qPrime float64) float64 {
+	return float64(n)*delta*qPrime/(beta*c) + qPrime
+}

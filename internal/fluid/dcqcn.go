@@ -1,0 +1,234 @@
+package fluid
+
+import (
+	"fmt"
+
+	"ecndelay/internal/fixedpoint"
+	"ecndelay/internal/ode"
+)
+
+// DCQCNConfig configures the DCQCN fluid model of Figure 1. Params carries
+// the Table 1 parameters (packets / packets-per-second units); the remaining
+// fields control the simulated scenario.
+type DCQCNConfig struct {
+	Params fixedpoint.DCQCNParams
+	// LineRate is the NIC line rate that clamps R_C and R_T. Zero means
+	// Params.C (every sender has a bottleneck-speed NIC).
+	LineRate float64
+	// RMin is the protocol minimum rate, packets/s. Zero means 1/1000 of
+	// the line rate.
+	RMin float64
+	// InitialRC holds per-flow initial rates. Nil means all flows start
+	// at line rate, as the DCQCN spec requires.
+	InitialRC []float64
+	// JitterMax adds uniform [0, JitterMax) noise to the feedback delay
+	// τ* each step (Figure 20). Zero disables jitter.
+	JitterMax float64
+	// Seed seeds the jitter generator.
+	Seed int64
+	// StrictRED clips the marking probability to 1 as soon as the queue
+	// exceeds Kmax, exactly as Eq. 3 is written and as the packet-level
+	// switch behaves. The default (false) extends the RED ramp past Kmax,
+	// which is what the paper's own fixed point (Eq. 9, which admits
+	// q* > Kmax) and its Figure 4 stability results assume.
+	StrictRED bool
+	// IngressMarking models the Figure 17 ablation analytically: the
+	// mark encodes the queue at packet arrival and then waits out the
+	// queueing delay before travelling back, so the marking feedback lag
+	// becomes τ* + q/C instead of τ*. Egress marking (the default)
+	// decouples the two (§5.2).
+	IngressMarking bool
+}
+
+// DCQCNSystem is the DCQCN fluid model as an ode.System. State layout:
+// y[0] = queue (packets); for flow i: y[1+3i] = α_i, y[2+3i] = R_T^i,
+// y[3+3i] = R_C^i (packets/s).
+type DCQCNSystem struct {
+	cfg      DCQCNConfig
+	lineRate float64
+	rmin     float64
+	jit      *jitterSource
+}
+
+// NewDCQCN validates cfg and builds the system.
+func NewDCQCN(cfg DCQCNConfig) (*DCQCNSystem, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InitialRC != nil && len(cfg.InitialRC) != cfg.Params.N {
+		return nil, fmt.Errorf("fluid: len(InitialRC)=%d, want N=%d", len(cfg.InitialRC), cfg.Params.N)
+	}
+	s := &DCQCNSystem{cfg: cfg}
+	s.lineRate = cfg.LineRate
+	if s.lineRate == 0 {
+		s.lineRate = cfg.Params.C
+	}
+	s.rmin = cfg.RMin
+	if s.rmin == 0 {
+		s.rmin = s.lineRate / 1000
+	}
+	s.jit = newJitterSource(cfg.JitterMax, cfg.Seed)
+	return s, nil
+}
+
+// Dim implements ode.System.
+func (s *DCQCNSystem) Dim() int { return 1 + 3*s.cfg.Params.N }
+
+// Initial returns the initial state vector: empty queue, α = 1 (the DCQCN
+// initial value), R_T = R_C = line rate unless InitialRC overrides.
+func (s *DCQCNSystem) Initial() []float64 {
+	y := make([]float64, s.Dim())
+	for i := 0; i < s.cfg.Params.N; i++ {
+		r := s.lineRate
+		if s.cfg.InitialRC != nil {
+			r = s.cfg.InitialRC[i]
+		}
+		y[1+3*i] = 1 // α starts at 1 per the DCQCN spec
+		y[2+3*i] = r
+		y[3+3*i] = r
+	}
+	return y
+}
+
+// QIndex returns the state index of the queue.
+func (s *DCQCNSystem) QIndex() int { return 0 }
+
+// AlphaIndex returns the state index of flow i's α.
+func (s *DCQCNSystem) AlphaIndex(i int) int { return 1 + 3*i }
+
+// RTIndex returns the state index of flow i's target rate.
+func (s *DCQCNSystem) RTIndex(i int) int { return 2 + 3*i }
+
+// RCIndex returns the state index of flow i's current rate.
+func (s *DCQCNSystem) RCIndex(i int) int { return 3 + 3*i }
+
+// abcde evaluates the event-rate terms of Eq. 12 at marking probability p
+// and (delayed) rate rc, taking the p→0 limits where the closed forms are
+// 0/0: b,c → 1/B and d,e → 1/(T·rc).
+func (s *DCQCNSystem) abcde(p, rc float64) (a, b, c, d, e float64) {
+	pr := s.cfg.Params
+	if rc < s.rmin {
+		rc = s.rmin
+	}
+	if p < 1e-12 {
+		a = pr.Tau * rc * p // → 0 with the right slope
+		b = 1 / pr.B
+		c = 1 / pr.B
+		d = 1 / (pr.T * rc)
+		e = d
+		return
+	}
+	a = -fixedpoint.Expm1Pow(p, pr.Tau*rc)
+	denB := fixedpoint.Expm1Pow(p, -pr.B)
+	b = p / denB
+	c = fixedpoint.Pow1mp(p, pr.F*pr.B) * p / denB
+	denT := fixedpoint.Expm1Pow(p, -pr.T*rc)
+	d = p / denT
+	e = fixedpoint.Pow1mp(p, pr.F*pr.T*rc) * p / denT
+	return
+}
+
+// Derivs implements ode.System with the Figure 1 equations.
+func (s *DCQCNSystem) Derivs(t float64, y []float64, past ode.History, dydt []float64) {
+	pr := s.cfg.Params
+	delay := pr.TauStar + s.jit.value()
+	tq := t - delay
+
+	// Delayed marking probability: ECN is marked on egress, so the mark
+	// reflects the queue at departure and reaches the sender one
+	// propagation delay later (§5.2). Eq. 3 applied to q(t-τ*). With
+	// ingress marking the mark rides the packet through the queue, so a
+	// mark arriving now encodes the queue at its own enqueue instant s,
+	// which satisfies the FIFO relation s + q(s)/C = t - τ*. That
+	// equation is monotone in s (its left side grows at ΣR/C ≥ 0), so
+	// the total lag L = t - s is found by bisection on
+	// h(L) = L - τ* - q(t-L)/C.
+	qDelayed := past.Value(tq, 0)
+	if s.cfg.IngressMarking {
+		maxLag := s.MaxDelay()
+		lo, hi := delay, maxLag
+		if hi-delay-past.Value(t-hi, 0)/pr.C < 0 {
+			// Even the oldest history is too fresh (extreme transient):
+			// saturate at the stalest available observation.
+			lo = hi
+		}
+		for i := 0; i < 50 && hi-lo > 1e-9; i++ {
+			mid := lo + (hi-lo)/2
+			if mid-delay-past.Value(t-mid, 0)/pr.C < 0 {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		qDelayed = past.Value(t-(lo+(hi-lo)/2), 0)
+	}
+	var pHat float64
+	if s.cfg.StrictRED {
+		pHat = REDMark(qDelayed, pr.Kmin, pr.Kmax, pr.Pmax)
+	} else {
+		pHat = REDMarkExtended(qDelayed, pr.Kmin, pr.Kmax, pr.Pmax)
+	}
+
+	sum := 0.0
+	for i := 0; i < pr.N; i++ {
+		sum += y[s.RCIndex(i)]
+	}
+	dq := sum - pr.C
+	if y[0] <= 0 && dq < 0 {
+		dq = 0
+	}
+	dydt[0] = dq
+
+	for i := 0; i < pr.N; i++ {
+		alpha := y[s.AlphaIndex(i)]
+		rt := y[s.RTIndex(i)]
+		rc := y[s.RCIndex(i)]
+		rcHat := past.Value(tq, s.RCIndex(i))
+		a, b, c, d, e := s.abcde(pHat, rcHat)
+
+		// Eq. 5: α tracks the marked fraction over the τ' window.
+		dydt[s.AlphaIndex(i)] = pr.G / pr.TauPrime * ((-fixedpoint.Expm1Pow(pHat, pr.TauPrime*rcHat)) - alpha)
+		// Eq. 6: target rate resets on cuts, rises with the byte counter
+		// and timer once past the F fast-recovery stages.
+		dydt[s.RTIndex(i)] = -(rt-rc)/pr.Tau*a + pr.RAI*rcHat*(c+e)
+		// Eq. 7: multiplicative decrease on CNPs, fast recovery toward
+		// R_T on byte-counter and timer events.
+		dydt[s.RCIndex(i)] = -rc*alpha/(2*pr.Tau)*a + (rt-rc)/2*rcHat*(b+d)
+	}
+}
+
+// PostStep implements ode.PostStepper: clamp state to the physical domain
+// and refresh the per-step feedback jitter.
+func (s *DCQCNSystem) PostStep(_ float64, y []float64) {
+	if y[0] < 0 {
+		y[0] = 0
+	}
+	for i := 0; i < s.cfg.Params.N; i++ {
+		y[s.AlphaIndex(i)] = clamp(y[s.AlphaIndex(i)], 0, 1)
+		y[s.RTIndex(i)] = clamp(y[s.RTIndex(i)], s.rmin, s.lineRate)
+		y[s.RCIndex(i)] = clamp(y[s.RCIndex(i)], s.rmin, s.lineRate)
+	}
+	s.jit.resample()
+}
+
+// MaxDelay reports the largest history lag the model requests, for sizing
+// the solver's history buffer.
+func (s *DCQCNSystem) MaxDelay() float64 {
+	d := s.cfg.Params.TauStar + s.cfg.JitterMax
+	if s.cfg.IngressMarking {
+		// Ingress marks lag by the queueing delay of their own packet.
+		// The line-rate start transient peaks near twice the queue at
+		// which the extended RED ramp saturates (p = 1), so budget 2.5x
+		// that queueing delay.
+		pr := s.cfg.Params
+		qCap := pr.Kmin + (pr.Kmax-pr.Kmin)/pr.Pmax
+		d += 2.5 * qCap / pr.C
+	}
+	return d
+}
+
+// FixedPoint returns the unique Theorem 1 operating point for this
+// configuration.
+func (s *DCQCNSystem) FixedPoint() (fixedpoint.DCQCNFixedPoint, error) {
+	return fixedpoint.SolveDCQCN(s.cfg.Params)
+}

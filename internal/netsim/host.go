@@ -1,0 +1,78 @@
+package netsim
+
+import (
+	"ecndelay/internal/des"
+)
+
+// Transport is the protocol engine attached to a host: it receives every
+// non-PFC packet addressed to the host. DCQCN and TIMELY endpoints
+// implement it in their own packages.
+type Transport interface {
+	Handle(h *Host, pkt *Packet)
+}
+
+// TransportFunc adapts a function to the Transport interface.
+type TransportFunc func(h *Host, pkt *Packet)
+
+// Handle implements Transport.
+func (f TransportFunc) Handle(h *Host, pkt *Packet) { f(h, pkt) }
+
+// Host is an end station with a single NIC port.
+type Host struct {
+	net       *Network
+	id        int
+	port      *Port
+	Transport Transport
+}
+
+// NewHost creates a host; attach its NIC with Connect.
+func (nw *Network) NewHost() *Host {
+	h := &Host{net: nw}
+	h.id = nw.addNode(h)
+	return h
+}
+
+// Connect wires the host NIC toward peer (normally a switch).
+func (h *Host) Connect(peer Node, bandwidth float64, prop des.Duration, m Marker) *Port {
+	h.port = h.net.NewPort(h, peer, bandwidth, prop, m)
+	return h.port
+}
+
+// ID implements Node.
+func (h *Host) ID() int { return h.id }
+
+// Net exposes the owning network (protocols need the clock and RNG).
+func (h *Host) Net() *Network { return h.net }
+
+// Port returns the NIC port.
+func (h *Host) Port() *Port { return h.port }
+
+// Now is the current simulation time.
+func (h *Host) Now() des.Time { return h.net.Sim.Now() }
+
+// Receive implements Node: PFC is handled by the NIC itself; everything
+// else goes to the transport.
+func (h *Host) Receive(pkt *Packet) {
+	switch pkt.Kind {
+	case Pause:
+		h.port.pause()
+		return
+	case Resume:
+		h.port.unpause()
+		return
+	}
+	if h.Transport != nil {
+		h.Transport.Handle(h, pkt)
+	}
+}
+
+// Send stamps and transmits a packet through the NIC.
+func (h *Host) Send(pkt *Packet) {
+	pkt.ID = h.net.NextPacketID()
+	pkt.Src = h.id
+	pkt.SentAt = h.net.Sim.Now()
+	h.port.Send(pkt)
+}
+
+// LineRate reports the NIC bandwidth in bytes/second.
+func (h *Host) LineRate() float64 { return h.port.Bandwidth }

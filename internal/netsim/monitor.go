@@ -1,0 +1,31 @@
+package netsim
+
+import (
+	"ecndelay/internal/des"
+	"ecndelay/internal/stats"
+)
+
+// MonitorQueueBytes samples a port's egress queue occupancy (bytes) every
+// interval into a time series (time in seconds). Sampling starts at the
+// first interval boundary and runs for the life of the simulation.
+func MonitorQueueBytes(sim *des.Simulator, p *Port, interval des.Duration) *stats.Series {
+	s := &stats.Series{}
+	sim.Every(sim.Now().Add(interval), interval, func() {
+		s.Add(sim.Now().Seconds(), float64(p.Queue().Bytes()))
+	})
+	return s
+}
+
+// MonitorThroughput samples a port's delivered rate (bytes/second, averaged
+// over each interval) into a time series.
+func MonitorThroughput(sim *des.Simulator, p *Port, interval des.Duration) *stats.Series {
+	s := &stats.Series{}
+	var last int64
+	sim.Every(sim.Now().Add(interval), interval, func() {
+		cur := p.TxBytes
+		rate := float64(cur-last) / interval.Seconds()
+		last = cur
+		s.Add(sim.Now().Seconds(), rate)
+	})
+	return s
+}

@@ -1,0 +1,163 @@
+// Package netsim is the packet-level network simulator the paper's NS3
+// experiments correspond to: hosts, switches with shared-buffer egress
+// queues and ECN marking (egress or ingress), PFC backpressure, static
+// routing, and per-port serialisation and propagation delays — all driven
+// by the deterministic event engine in internal/des.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ecndelay/internal/des"
+)
+
+// Node is anything attached to the network fabric.
+type Node interface {
+	// ID is the node's index in the network.
+	ID() int
+	// Receive handles a packet delivered to this node.
+	Receive(pkt *Packet)
+}
+
+// Network owns the simulator, the node table and the shared RNG. Build one
+// with New, attach nodes (hosts, switches) via the topology helpers, then
+// drive Sim.
+type Network struct {
+	Sim   *des.Simulator
+	Rng   *rand.Rand
+	nodes []Node
+	pktID uint64
+}
+
+// New creates an empty network with a deterministic RNG.
+func New(seed int64) *Network {
+	return &Network{
+		Sim: des.New(),
+		Rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// AddNode registers n and returns its id. Topology helpers call this.
+func (nw *Network) addNode(n Node) int {
+	nw.nodes = append(nw.nodes, n)
+	return len(nw.nodes) - 1
+}
+
+// NodeByID returns a registered node.
+func (nw *Network) NodeByID(id int) Node {
+	if id < 0 || id >= len(nw.nodes) {
+		panic(fmt.Sprintf("netsim: unknown node %d", id))
+	}
+	return nw.nodes[id]
+}
+
+// NextPacketID hands out unique packet ids.
+func (nw *Network) NextPacketID() uint64 {
+	nw.pktID++
+	return nw.pktID
+}
+
+// Port is a unidirectional attachment point: it owns the egress queue
+// toward a fixed peer and models serialisation (Bandwidth) plus propagation
+// (PropDelay). PFC pauses stop new transmissions; the in-flight packet
+// always completes.
+type Port struct {
+	net   *Network
+	owner Node
+	peer  Node
+
+	Bandwidth float64 // bytes/second
+	PropDelay des.Duration
+
+	// CtrlExtraDelay adds a fixed delay to delivered control packets
+	// (Ack/CNP), modelling a longer feedback path without stretching the
+	// forward path.
+	CtrlExtraDelay des.Duration
+	// CtrlJitterMax adds uniform [0, CtrlJitterMax) random delay to
+	// delivered control packets (the Figure 20 jitter injection).
+	CtrlJitterMax des.Duration
+
+	queue  *Queue
+	busy   bool
+	paused bool
+
+	// TxBytes counts payload transmitted, for utilisation accounting.
+	TxBytes int64
+}
+
+// startableMarker is implemented by markers that need the simulator to run
+// periodic state updates (the PI AQM).
+type startableMarker interface {
+	Start(sim *des.Simulator, q *Queue)
+}
+
+// NewPort wires a port from owner toward peer. Marking policy m may be
+// nil; markers that need a clock (PIMarker) are started automatically.
+func (nw *Network) NewPort(owner, peer Node, bandwidth float64, prop des.Duration, m Marker) *Port {
+	if bandwidth <= 0 {
+		panic("netsim: port bandwidth must be positive")
+	}
+	p := &Port{
+		net: nw, owner: owner, peer: peer,
+		Bandwidth: bandwidth, PropDelay: prop,
+		queue: NewQueue(m),
+	}
+	if sm, ok := m.(startableMarker); ok {
+		sm.Start(nw.Sim, p.queue)
+	}
+	return p
+}
+
+// Queue exposes the egress queue (monitoring, tests).
+func (p *Port) Queue() *Queue { return p.queue }
+
+// Peer reports the node at the far end.
+func (p *Port) Peer() Node { return p.peer }
+
+// Paused reports the PFC pause state.
+func (p *Port) Paused() bool { return p.paused }
+
+// Send enqueues pkt for transmission and starts the transmitter if idle.
+func (p *Port) Send(pkt *Packet) {
+	p.queue.Push(pkt)
+	p.tryTx()
+}
+
+// SendDirect bypasses the queue entirely (PFC PAUSE/RESUME frames, which
+// real NICs emit from a dedicated high-priority path): the packet arrives
+// after just the propagation delay.
+func (p *Port) SendDirect(pkt *Packet) {
+	peer := p.peer
+	p.net.Sim.Schedule(p.PropDelay, func() { peer.Receive(pkt) })
+}
+
+// pause and unpause implement PFC flow control on this port.
+func (p *Port) pause()   { p.paused = true }
+func (p *Port) unpause() { p.paused = false; p.tryTx() }
+
+func (p *Port) tryTx() {
+	if p.busy || p.paused || p.queue.Len() == 0 {
+		return
+	}
+	pkt := p.queue.Pop()
+	p.busy = true
+	txTime := des.DurationFromSeconds(float64(pkt.Size) / p.Bandwidth)
+	p.TxBytes += int64(pkt.Size)
+	p.net.Sim.Schedule(txTime, func() {
+		p.busy = false
+		if sw, ok := p.owner.(*Switch); ok {
+			sw.departed(pkt)
+		}
+		delay := p.PropDelay
+		if pkt.Kind.Control() && pkt.Kind != Pause && pkt.Kind != Resume {
+			delay += p.CtrlExtraDelay
+			if p.CtrlJitterMax > 0 {
+				delay += des.Duration(p.net.Rng.Int63n(int64(p.CtrlJitterMax)))
+			}
+		}
+		peer := p.peer
+		p.net.Sim.Schedule(delay, func() { peer.Receive(pkt) })
+		p.tryTx()
+	})
+}

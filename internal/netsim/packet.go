@@ -1,0 +1,69 @@
+package netsim
+
+import "ecndelay/internal/des"
+
+// Kind distinguishes the packet types the simulated protocols exchange.
+type Kind uint8
+
+// Packet kinds. Data carries flow payload; Ack is TIMELY's completion
+// event; CNP is DCQCN's congestion notification; Pause/Resume are PFC
+// control frames.
+const (
+	Data Kind = iota
+	Ack
+	CNP
+	Pause
+	Resume
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "DATA"
+	case Ack:
+		return "ACK"
+	case CNP:
+		return "CNP"
+	case Pause:
+		return "PAUSE"
+	case Resume:
+		return "RESUME"
+	}
+	return "?"
+}
+
+// Control reports whether the kind is a feedback/control packet (which
+// ports treat preferentially and to which feedback jitter applies).
+func (k Kind) Control() bool { return k != Data }
+
+// Common on-wire sizes in bytes. DataMTU matches the 1 KB packets used
+// throughout the paper's scenarios.
+const (
+	DataMTU  = 1000
+	CtrlSize = 64
+)
+
+// Packet is the unit the simulator moves. Packets are heap-allocated and
+// owned by the network once sent; receivers may read but not retain them
+// past the Receive call unless they remove them from circulation.
+type Packet struct {
+	ID   uint64
+	Flow int // flow identifier, -1 for control not tied to a flow
+	Src  int // originating host/switch node id
+	Dst  int // destination host node id
+	Size int // bytes on the wire
+	Kind Kind
+
+	// ECN state (RFC 3168 semantics, simplified to two bits).
+	ECT bool // ECN-capable transport
+	CE  bool // congestion experienced
+
+	Seq    int64    // first payload byte offset (Data)
+	Last   bool     // last packet of its flow (Data)
+	AckReq bool     // completion event requested (TIMELY segment end)
+	SentAt des.Time // stamped by the sender when handed to the NIC
+	EchoT  des.Time // Ack: echo of the acknowledged packet's SentAt
+	Bytes  int      // Ack: payload bytes covered by this completion event
+
+	ingress int // switch-internal: ingress port index while buffered
+}

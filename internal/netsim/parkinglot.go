@@ -1,0 +1,95 @@
+package netsim
+
+import "fmt"
+
+// ParkingLot is the classic multi-bottleneck chain the paper lists as
+// future work (§7): switches SW[0..H-1] in a line, one sender and one
+// receiver hanging off each switch, so a "long" flow from the first to the
+// last host crosses every inter-switch trunk while per-hop "short" cross
+// flows load individual trunks.
+//
+//	S0        S1        S2    ...
+//	 \         \         \
+//	 SW0 ====> SW1 ====> SW2 ...
+//	 /         /         /
+//	R0        R1        R2
+//
+// Traffic conventions are up to the caller: any host can talk to any other
+// host; routing follows the chain.
+type ParkingLot struct {
+	Net      *Network
+	Switches []*Switch
+	Senders  []*Host // Senders[i] attached to Switches[i]
+	Recvs    []*Host // Recvs[i] attached to Switches[i]
+	// Trunks[i] is the forward (increasing index) port from Switches[i]
+	// to Switches[i+1] — the i-th potential bottleneck.
+	Trunks []*Port
+}
+
+// ParkingLotConfig parameterises NewParkingLot.
+type ParkingLotConfig struct {
+	Hops int // number of switches (>= 2)
+	Link LinkConfig
+	Mark MarkerFactory
+	PFC  PFCConfig
+}
+
+// NewParkingLot wires the chain.
+func NewParkingLot(nw *Network, cfg ParkingLotConfig) *ParkingLot {
+	if cfg.Hops < 2 {
+		panic(fmt.Sprintf("netsim: parking lot needs >= 2 switches, got %d", cfg.Hops))
+	}
+	pl := &ParkingLot{Net: nw}
+	mark := func() Marker {
+		if cfg.Mark == nil {
+			return nil
+		}
+		return cfg.Mark()
+	}
+	for i := 0; i < cfg.Hops; i++ {
+		pl.Switches = append(pl.Switches, nw.NewSwitch(cfg.PFC))
+	}
+	for i, sw := range pl.Switches {
+		s := nw.NewHost()
+		s.Connect(sw, cfg.Link.Bandwidth, cfg.Link.PropDelay, nil)
+		si := sw.AddPort(s, cfg.Link.Bandwidth, cfg.Link.PropDelay, mark())
+		sw.SetRoute(s.ID(), si)
+		pl.Senders = append(pl.Senders, s)
+
+		r := nw.NewHost()
+		r.Connect(sw, cfg.Link.Bandwidth, cfg.Link.PropDelay, nil)
+		ri := sw.AddPort(r, cfg.Link.Bandwidth, cfg.Link.PropDelay, mark())
+		sw.SetRoute(r.ID(), ri)
+		pl.Recvs = append(pl.Recvs, r)
+		_ = i
+	}
+	// Inter-switch trunks, both directions.
+	fwd := make([]int, cfg.Hops-1)
+	bwd := make([]int, cfg.Hops-1)
+	for i := 0; i+1 < cfg.Hops; i++ {
+		fwd[i] = pl.Switches[i].AddPort(pl.Switches[i+1], cfg.Link.Bandwidth, cfg.Link.PropDelay, mark())
+		bwd[i] = pl.Switches[i+1].AddPort(pl.Switches[i], cfg.Link.Bandwidth, cfg.Link.PropDelay, mark())
+		pl.Trunks = append(pl.Trunks, pl.Switches[i].Port(fwd[i]))
+	}
+	// Routes: every switch forwards toward the switch owning the target
+	// host along the chain.
+	for i, sw := range pl.Switches {
+		for j := range pl.Switches {
+			if i == j {
+				continue
+			}
+			var port int
+			if j > i {
+				port = fwd[i]
+			} else {
+				port = bwd[i-1]
+			}
+			sw.SetRoute(pl.Senders[j].ID(), port)
+			sw.SetRoute(pl.Recvs[j].ID(), port)
+		}
+	}
+	return pl
+}
+
+// Hops reports the number of switches in the chain.
+func (pl *ParkingLot) Hops() int { return len(pl.Switches) }

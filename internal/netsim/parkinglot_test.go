@@ -1,0 +1,81 @@
+package netsim
+
+import (
+	"testing"
+
+	"ecndelay/internal/des"
+)
+
+func TestParkingLotDelivery(t *testing.T) {
+	nw := New(1)
+	pl := NewParkingLot(nw, ParkingLotConfig{
+		Hops: 3,
+		Link: LinkConfig{Bandwidth: 1.25e9, PropDelay: des.Microsecond},
+	})
+	if pl.Hops() != 3 || len(pl.Trunks) != 2 {
+		t.Fatalf("hops=%d trunks=%d, want 3/2", pl.Hops(), len(pl.Trunks))
+	}
+	got := map[int]int{}
+	for _, r := range pl.Recvs {
+		id := r.ID()
+		r.Transport = TransportFunc(func(h *Host, pkt *Packet) { got[id]++ })
+	}
+	// Long flow: S0 → R2 (crosses both trunks). Cross: S1 → R1 (local).
+	// Backward: S2 → R0.
+	for i := 0; i < 5; i++ {
+		pl.Senders[0].Send(&Packet{Dst: pl.Recvs[2].ID(), Size: DataMTU, Kind: Data})
+		pl.Senders[1].Send(&Packet{Dst: pl.Recvs[1].ID(), Size: DataMTU, Kind: Data})
+		pl.Senders[2].Send(&Packet{Dst: pl.Recvs[0].ID(), Size: DataMTU, Kind: Data})
+	}
+	nw.Sim.Run()
+	for i, r := range pl.Recvs {
+		if got[r.ID()] != 5 {
+			t.Errorf("receiver %d got %d packets, want 5", i, got[r.ID()])
+		}
+	}
+	// The long flow's packets crossed both trunks; S2→R0 crossed both
+	// backward; S1→R1 touched neither.
+	if pl.Trunks[0].TxBytes != 5*DataMTU {
+		t.Errorf("trunk 0 carried %d bytes, want %d", pl.Trunks[0].TxBytes, 5*DataMTU)
+	}
+	if pl.Trunks[1].TxBytes != 5*DataMTU {
+		t.Errorf("trunk 1 carried %d bytes, want %d", pl.Trunks[1].TxBytes, 5*DataMTU)
+	}
+}
+
+func TestParkingLotTooFewHopsPanics(t *testing.T) {
+	nw := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for Hops=1")
+		}
+	}()
+	NewParkingLot(nw, ParkingLotConfig{Hops: 1, Link: LinkConfig{Bandwidth: 1, PropDelay: 0}})
+}
+
+// PIMarker wired through a topology factory starts automatically and holds
+// the queue near its reference under sustained overload.
+func TestPIMarkerAutoStartInTopology(t *testing.T) {
+	nw := New(1)
+	var pi *PIMarker
+	star := NewStar(nw, StarConfig{
+		Senders: 2,
+		Link:    LinkConfig{Bandwidth: 1.25e8, PropDelay: des.Microsecond},
+		Mark: func() Marker {
+			m := &PIMarker{K1: 1e-7, K2: 1e-4, QRef: 20000, Rng: nw.Rng}
+			pi = m // last-created marker guards the bottleneck
+			return m
+		},
+	})
+	_ = star
+	// Overdrive the bottleneck 2:1 with raw traffic; the marker's p must
+	// rise (no senders react here, we only check the controller runs).
+	for i := 0; i < 2000; i++ {
+		star.Senders[0].Send(&Packet{Dst: star.Receiver.ID(), Size: DataMTU, Kind: Data, ECT: true})
+		star.Senders[1].Send(&Packet{Dst: star.Receiver.ID(), Size: DataMTU, Kind: Data, ECT: true})
+	}
+	nw.Sim.RunUntil(des.Time(5 * des.Millisecond))
+	if pi.P() <= 0 {
+		t.Errorf("PI marker never engaged (p=%v) despite sustained overload", pi.P())
+	}
+}

@@ -1,0 +1,164 @@
+package netsim
+
+import (
+	"math/rand"
+
+	"ecndelay/internal/des"
+)
+
+// Queue is a byte-accounted FIFO of packets with an attached ECN marking
+// policy. It never drops: the RoCEv2 setting the paper studies is drop-free
+// (PFC backpressure, not loss, handles overload).
+type Queue struct {
+	pkts  []*Packet
+	head  int
+	bytes int
+	mark  Marker
+}
+
+// NewQueue builds a queue with the given marking policy (nil means no
+// marking).
+func NewQueue(m Marker) *Queue {
+	return &Queue{mark: m}
+}
+
+// Len reports the number of queued packets.
+func (q *Queue) Len() int { return len(q.pkts) - q.head }
+
+// Bytes reports the queued payload in bytes.
+func (q *Queue) Bytes() int { return q.bytes }
+
+// Push appends a packet, applying enqueue-time marking if the policy asks
+// for it (the "ingress marking" ablation of Figure 17). The marker sees the
+// queue state at the instant of arrival, with the arriving packet included.
+func (q *Queue) Push(pkt *Packet) {
+	q.pkts = append(q.pkts, pkt)
+	q.bytes += pkt.Size
+	if q.mark != nil && q.mark.AtEnqueue() {
+		q.mark.Mark(q, pkt)
+	}
+	// Compact the slice occasionally so memory stays bounded.
+	if q.head > 1024 && q.head*2 > len(q.pkts) {
+		n := copy(q.pkts, q.pkts[q.head:])
+		q.pkts = q.pkts[:n]
+		q.head = 0
+	}
+}
+
+// Pop removes the packet at the head, applying departure-time marking
+// ("egress marking": the mark reflects the queue at the instant the packet
+// departs, §5.2, with the departing packet still counted). It returns nil
+// if the queue is empty.
+func (q *Queue) Pop() *Packet {
+	if q.Len() == 0 {
+		return nil
+	}
+	pkt := q.pkts[q.head]
+	if q.mark != nil && !q.mark.AtEnqueue() {
+		q.mark.Mark(q, pkt)
+	}
+	q.pkts[q.head] = nil
+	q.head++
+	q.bytes -= pkt.Size
+	return pkt
+}
+
+// Marker decides whether a packet gets an ECN mark.
+type Marker interface {
+	// AtEnqueue reports whether marks are applied when packets arrive
+	// (true: the queue state at arrival is encoded, and the mark then
+	// waits out the queueing delay) or when they depart (false: the mark
+	// reflects the instantaneous egress queue, the modern shared-buffer
+	// behaviour the paper highlights).
+	AtEnqueue() bool
+	// Mark inspects q and may set pkt.CE.
+	Mark(q *Queue, pkt *Packet)
+}
+
+// REDMarker implements the Eq. 3 RED-like profile on the instantaneous
+// queue length.
+type REDMarker struct {
+	Kmin, Kmax int     // bytes
+	Pmax       float64 // marking probability at Kmax
+	Ingress    bool    // mark at enqueue instead of dequeue (Figure 17)
+	Rng        *rand.Rand
+}
+
+// AtEnqueue implements Marker.
+func (m *REDMarker) AtEnqueue() bool { return m.Ingress }
+
+// Mark implements Marker.
+func (m *REDMarker) Mark(q *Queue, pkt *Packet) {
+	if !pkt.ECT || pkt.CE {
+		return
+	}
+	b := q.Bytes()
+	var p float64
+	switch {
+	case b <= m.Kmin:
+		return
+	case b <= m.Kmax:
+		p = float64(b-m.Kmin) / float64(m.Kmax-m.Kmin) * m.Pmax
+	default:
+		p = 1
+	}
+	if p >= 1 || m.Rng.Float64() < p {
+		pkt.CE = true
+	}
+}
+
+// PIMarker is the Eq. 32 integral controller as a switch AQM: a timer
+// updates the marking probability from the queue error, and departing
+// packets are marked with that probability. Register it on a simulator with
+// Start before running.
+type PIMarker struct {
+	K1       float64 // per byte
+	K2       float64 // per byte per second
+	QRef     int     // bytes
+	PMax     float64 // anti-windup cap
+	Interval des.Duration
+	Rng      *rand.Rand
+
+	p     float64
+	prevQ int
+	queue *Queue
+}
+
+// Start begins periodic probability updates against q.
+func (m *PIMarker) Start(sim *des.Simulator, q *Queue) {
+	m.queue = q
+	if m.PMax == 0 {
+		m.PMax = 0.1
+	}
+	if m.Interval == 0 {
+		m.Interval = 10 * des.Microsecond
+	}
+	sim.Every(sim.Now().Add(m.Interval), m.Interval, func() {
+		qb := q.Bytes()
+		dt := m.Interval.Seconds()
+		m.p += m.K1*float64(qb-m.prevQ) + m.K2*float64(qb-m.QRef)*dt
+		if m.p < 0 {
+			m.p = 0
+		}
+		if m.p > m.PMax {
+			m.p = m.PMax
+		}
+		m.prevQ = qb
+	})
+}
+
+// P exposes the current marking probability (for tests and monitoring).
+func (m *PIMarker) P() float64 { return m.p }
+
+// AtEnqueue implements Marker (PI marks on egress).
+func (m *PIMarker) AtEnqueue() bool { return false }
+
+// Mark implements Marker.
+func (m *PIMarker) Mark(_ *Queue, pkt *Packet) {
+	if !pkt.ECT || pkt.CE {
+		return
+	}
+	if m.Rng.Float64() < m.p {
+		pkt.CE = true
+	}
+}

@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"fmt"
+
+	"ecndelay/internal/des"
+)
+
+// PFCConfig sets the Priority Flow Control thresholds on a switch. PFC
+// tracks buffered bytes per ingress port; crossing PauseBytes sends PAUSE
+// upstream, and draining below ResumeBytes sends RESUME. Zero values
+// disable PFC (infinite buffer, never pauses) — the regime the fluid models
+// assume ("ECN marking is triggered before PFC").
+type PFCConfig struct {
+	PauseBytes  int
+	ResumeBytes int
+}
+
+// Enabled reports whether the thresholds are active.
+func (c PFCConfig) Enabled() bool { return c.PauseBytes > 0 }
+
+// Switch is a shared-buffer output-queued switch: every egress port has a
+// FIFO with an ECN marking policy, and PFC watches per-ingress occupancy.
+type Switch struct {
+	net    *Network
+	id     int
+	ports  []*Port
+	routes map[int]int // destination host id → egress port index
+
+	pfc        PFCConfig
+	ingressUse []int  // buffered bytes attributed to each ingress port
+	pausedUp   []bool // whether we have PAUSEd the upstream on that port
+}
+
+// NewSwitch creates a switch with no ports. Wire it with AddPort and
+// SetRoute (the topology builders do this).
+func (nw *Network) NewSwitch(pfc PFCConfig) *Switch {
+	sw := &Switch{net: nw, routes: make(map[int]int), pfc: pfc}
+	sw.id = nw.addNode(sw)
+	return sw
+}
+
+// ID implements Node.
+func (sw *Switch) ID() int { return sw.id }
+
+// AddPort attaches an egress port toward peer and returns its index.
+func (sw *Switch) AddPort(peer Node, bandwidth float64, prop des.Duration, m Marker) int {
+	p := sw.net.NewPort(sw, peer, bandwidth, prop, m)
+	sw.ports = append(sw.ports, p)
+	sw.ingressUse = append(sw.ingressUse, 0)
+	sw.pausedUp = append(sw.pausedUp, false)
+	return len(sw.ports) - 1
+}
+
+// Port returns the port at index i.
+func (sw *Switch) Port(i int) *Port { return sw.ports[i] }
+
+// SetRoute directs traffic for host dst out of port index i.
+func (sw *Switch) SetRoute(dst, portIndex int) {
+	if portIndex < 0 || portIndex >= len(sw.ports) {
+		panic(fmt.Sprintf("netsim: switch %d has no port %d", sw.id, portIndex))
+	}
+	sw.routes[dst] = portIndex
+}
+
+// portToward finds the port whose peer is the given node id (for PFC
+// control addressed to a neighbour).
+func (sw *Switch) portToward(nodeID int) *Port {
+	for _, p := range sw.ports {
+		if p.peer.ID() == nodeID {
+			return p
+		}
+	}
+	return nil
+}
+
+// Receive implements Node: forward by static route, tracking PFC state.
+func (sw *Switch) Receive(pkt *Packet) {
+	switch pkt.Kind {
+	case Pause:
+		if p := sw.portToward(pkt.Src); p != nil {
+			p.pause()
+		}
+		return
+	case Resume:
+		if p := sw.portToward(pkt.Src); p != nil {
+			p.unpause()
+		}
+		return
+	}
+	idx, ok := sw.routes[pkt.Dst]
+	if !ok {
+		panic(fmt.Sprintf("netsim: switch %d has no route to %d", sw.id, pkt.Dst))
+	}
+	if sw.pfc.Enabled() {
+		// Attribute the buffered bytes to the ingress the packet came
+		// through (the port facing its source side); for a single-path
+		// topology the reverse route of the source works.
+		in := sw.ingressIndexFor(pkt)
+		pkt.ingress = in
+		if in >= 0 {
+			sw.ingressUse[in] += pkt.Size
+			if !sw.pausedUp[in] && sw.ingressUse[in] > sw.pfc.PauseBytes {
+				sw.pausedUp[in] = true
+				sw.sendPFC(in, Pause)
+			}
+		}
+	} else {
+		pkt.ingress = -1
+	}
+	sw.ports[idx].Send(pkt)
+}
+
+func (sw *Switch) ingressIndexFor(pkt *Packet) int {
+	if idx, ok := sw.routes[pkt.Src]; ok {
+		return idx
+	}
+	return -1
+}
+
+// departed is called by the owning port when a buffered packet finishes
+// transmission, releasing its PFC accounting.
+func (sw *Switch) departed(pkt *Packet) {
+	if !sw.pfc.Enabled() || pkt.ingress < 0 {
+		return
+	}
+	in := pkt.ingress
+	sw.ingressUse[in] -= pkt.Size
+	if sw.pausedUp[in] && sw.ingressUse[in] <= sw.pfc.ResumeBytes {
+		sw.pausedUp[in] = false
+		sw.sendPFC(in, Resume)
+	}
+}
+
+func (sw *Switch) sendPFC(portIndex int, kind Kind) {
+	p := sw.ports[portIndex]
+	pkt := &Packet{
+		ID: sw.net.NextPacketID(), Flow: -1,
+		Src: sw.id, Dst: p.peer.ID(),
+		Size: CtrlSize, Kind: kind,
+	}
+	p.SendDirect(pkt)
+}

@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"ecndelay/internal/des"
+)
+
+// LinkConfig describes one direction of a link.
+type LinkConfig struct {
+	Bandwidth float64 // bytes/s
+	PropDelay des.Duration
+}
+
+// MarkerFactory builds a fresh Marker per egress queue (markers hold
+// per-queue state, so they cannot be shared).
+type MarkerFactory func() Marker
+
+// Star is the validation topology of §3.1/§4.1: N senders and one receiver
+// hang off a single switch; the switch→receiver port is the bottleneck.
+type Star struct {
+	Net        *Network
+	Senders    []*Host
+	Receiver   *Host
+	Switch     *Switch
+	Bottleneck *Port // the switch's port toward the receiver
+}
+
+// StarConfig parameterises NewStar.
+type StarConfig struct {
+	Senders int
+	Link    LinkConfig
+	// Mark builds the marking policy for switch egress queues (nil: none).
+	Mark MarkerFactory
+	// CtrlExtraDelay/CtrlJitterMax apply to feedback packets on the paths
+	// back toward the senders, lengthening or jittering the control loop
+	// without touching the data path.
+	CtrlExtraDelay des.Duration
+	CtrlJitterMax  des.Duration
+	PFC            PFCConfig
+}
+
+// NewStar wires the topology.
+func NewStar(nw *Network, cfg StarConfig) *Star {
+	s := &Star{Net: nw}
+	s.Switch = nw.NewSwitch(cfg.PFC)
+	mark := func() Marker {
+		if cfg.Mark == nil {
+			return nil
+		}
+		return cfg.Mark()
+	}
+	for i := 0; i < cfg.Senders; i++ {
+		h := nw.NewHost()
+		h.Connect(s.Switch, cfg.Link.Bandwidth, cfg.Link.PropDelay, nil)
+		idx := s.Switch.AddPort(h, cfg.Link.Bandwidth, cfg.Link.PropDelay, mark())
+		s.Switch.Port(idx).CtrlExtraDelay = cfg.CtrlExtraDelay
+		s.Switch.Port(idx).CtrlJitterMax = cfg.CtrlJitterMax
+		s.Switch.SetRoute(h.ID(), idx)
+		s.Senders = append(s.Senders, h)
+	}
+	s.Receiver = nw.NewHost()
+	s.Receiver.Connect(s.Switch, cfg.Link.Bandwidth, cfg.Link.PropDelay, nil)
+	ri := s.Switch.AddPort(s.Receiver, cfg.Link.Bandwidth, cfg.Link.PropDelay, mark())
+	s.Switch.SetRoute(s.Receiver.ID(), ri)
+	s.Bottleneck = s.Switch.Port(ri)
+	return s
+}
+
+// Dumbbell is the Figure 13 topology: senders on SW1, receivers on SW2,
+// with the SW1→SW2 link as the bottleneck all traffic crosses.
+type Dumbbell struct {
+	Net        *Network
+	Senders    []*Host
+	Receivers  []*Host
+	SW1, SW2   *Switch
+	Bottleneck *Port // SW1's port toward SW2
+}
+
+// DumbbellConfig parameterises NewDumbbell.
+type DumbbellConfig struct {
+	Senders   int
+	Receivers int
+	Link      LinkConfig // all links identical, as in the paper
+	Mark      MarkerFactory
+	PFC       PFCConfig
+	// CtrlJitterMax jitters feedback packets crossing back through the
+	// bottleneck switches.
+	CtrlJitterMax des.Duration
+	// TrunkBandwidth overrides the inter-switch link speed (bytes/s);
+	// zero means Link.Bandwidth. A faster trunk moves the bottleneck to
+	// the receiver egress ports, the regime where PFC head-of-line
+	// blocking appears.
+	TrunkBandwidth float64
+}
+
+// NewDumbbell wires the topology.
+func NewDumbbell(nw *Network, cfg DumbbellConfig) *Dumbbell {
+	d := &Dumbbell{Net: nw}
+	d.SW1 = nw.NewSwitch(cfg.PFC)
+	d.SW2 = nw.NewSwitch(cfg.PFC)
+	mark := func() Marker {
+		if cfg.Mark == nil {
+			return nil
+		}
+		return cfg.Mark()
+	}
+	for i := 0; i < cfg.Senders; i++ {
+		h := nw.NewHost()
+		h.Connect(d.SW1, cfg.Link.Bandwidth, cfg.Link.PropDelay, nil)
+		idx := d.SW1.AddPort(h, cfg.Link.Bandwidth, cfg.Link.PropDelay, mark())
+		d.SW1.Port(idx).CtrlJitterMax = cfg.CtrlJitterMax
+		d.SW1.SetRoute(h.ID(), idx)
+		d.Senders = append(d.Senders, h)
+	}
+	for i := 0; i < cfg.Receivers; i++ {
+		h := nw.NewHost()
+		h.Connect(d.SW2, cfg.Link.Bandwidth, cfg.Link.PropDelay, nil)
+		idx := d.SW2.AddPort(h, cfg.Link.Bandwidth, cfg.Link.PropDelay, mark())
+		d.SW2.SetRoute(h.ID(), idx)
+		d.Receivers = append(d.Receivers, h)
+	}
+	// Inter-switch trunk, both directions.
+	trunkBW := cfg.TrunkBandwidth
+	if trunkBW == 0 {
+		trunkBW = cfg.Link.Bandwidth
+	}
+	i12 := d.SW1.AddPort(d.SW2, trunkBW, cfg.Link.PropDelay, mark())
+	i21 := d.SW2.AddPort(d.SW1, trunkBW, cfg.Link.PropDelay, mark())
+	d.SW2.Port(i21).CtrlJitterMax = cfg.CtrlJitterMax
+	for _, h := range d.Receivers {
+		d.SW1.SetRoute(h.ID(), i12)
+	}
+	for _, h := range d.Senders {
+		d.SW2.SetRoute(h.ID(), i21)
+	}
+	d.Bottleneck = d.SW1.Port(i12)
+	return d
+}

@@ -1,0 +1,58 @@
+package stability
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// solveComplex solves the dense complex linear system M x = b in place via
+// Gaussian elimination with partial pivoting. M is row-major n×n and is
+// destroyed; b is overwritten with the solution. The matrices here are the
+// 2×2 or 3×3 linearised rate subsystems, so no fancier factorisation is
+// warranted.
+func solveComplex(n int, m []complex128, b []complex128) error {
+	if len(m) != n*n || len(b) != n {
+		return fmt.Errorf("stability: bad system shape n=%d len(m)=%d len(b)=%d", n, len(m), len(b))
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := cmplx.Abs(m[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if a := cmplx.Abs(m[r*n+col]); a > best {
+				best = a
+				pivot = r
+			}
+		}
+		if best == 0 {
+			return fmt.Errorf("stability: singular matrix at column %d", col)
+		}
+		if pivot != col {
+			for k := col; k < n; k++ {
+				m[col*n+k], m[pivot*n+k] = m[pivot*n+k], m[col*n+k]
+			}
+			b[col], b[pivot] = b[pivot], b[col]
+		}
+		inv := 1 / m[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := m[r*n+col] * inv
+			if f == 0 {
+				continue
+			}
+			m[r*n+col] = 0
+			for k := col + 1; k < n; k++ {
+				m[r*n+k] -= f * m[col*n+k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for k := r + 1; k < n; k++ {
+			sum -= m[r*n+k] * b[k]
+		}
+		b[r] = sum / m[r*n+r]
+	}
+	return nil
+}

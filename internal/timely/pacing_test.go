@@ -1,0 +1,113 @@
+package timely
+
+// Wire-level pacing tests: the two disciplines of §4.2 must shape traffic
+// exactly as described — per-packet pacing spaces every MTU by size/rate,
+// per-burst pacing emits whole segments back-to-back at line rate with the
+// average rate set by the inter-burst gap.
+
+import (
+	"testing"
+
+	"ecndelay/internal/des"
+	"ecndelay/internal/netsim"
+)
+
+// recordArrivals runs one sender at a fixed rate toward a recording
+// receiver and returns the arrival times of the first n data packets.
+func recordArrivals(t *testing.T, p Params, rate float64, n int) []des.Time {
+	t.Helper()
+	nw := netsim.New(1)
+	star := netsim.NewStar(nw, netsim.StarConfig{
+		Senders: 1,
+		Link:    netsim.LinkConfig{Bandwidth: 1.25e9, PropDelay: des.Microsecond},
+	})
+	var arrivals []des.Time
+	star.Receiver.Transport = netsim.TransportFunc(func(h *netsim.Host, pkt *netsim.Packet) {
+		if pkt.Kind == netsim.Data {
+			arrivals = append(arrivals, h.Now())
+		}
+	})
+	ep, err := NewEndpoint(star.Senders[0], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-point the transport at the recorder (NewEndpoint installed the
+	// TIMELY engine; the sender host never receives data anyway).
+	_ = ep
+	if _, err := ep.NewFlow(0, star.Receiver.ID(), -1, 0, rate); err != nil {
+		t.Fatal(err)
+	}
+	for len(arrivals) < n && nw.Sim.Pending() > 0 {
+		nw.Sim.RunUntil(nw.Sim.Now() + des.Time(des.Millisecond))
+	}
+	if len(arrivals) < n {
+		t.Fatalf("only %d arrivals", len(arrivals))
+	}
+	return arrivals[:n]
+}
+
+func TestPerPacketPacingGaps(t *testing.T) {
+	p := DefaultParams()
+	rate := 1.25e8 // 1 Gb/s on a 10 Gb/s link: gaps dominated by pacing
+	arr := recordArrivals(t, p, rate, 10)
+	wantGap := des.DurationFromSeconds(netsim.DataMTU / rate) // 8 µs
+	for i := 1; i < len(arr); i++ {
+		gap := arr[i].Sub(arr[i-1])
+		if gap < wantGap-des.Microsecond || gap > wantGap+des.Microsecond {
+			t.Errorf("gap %d = %v, want ~%v (per-packet pacing)", i, gap, wantGap)
+		}
+	}
+}
+
+func TestBurstPacingShape(t *testing.T) {
+	p := DefaultParams()
+	p.Burst = true // 16 KB chunks
+	rate := 1.25e8
+	arr := recordArrivals(t, p, rate, 32)                       // two full bursts
+	lineGap := des.DurationFromSeconds(netsim.DataMTU / 1.25e9) // 0.8 µs at line rate
+	// Within the first burst (packets 0..15): arrivals back-to-back at
+	// line rate.
+	for i := 1; i < 16; i++ {
+		gap := arr[i].Sub(arr[i-1])
+		if gap > lineGap+des.Microsecond/2 {
+			t.Errorf("intra-burst gap %d = %v, want line-rate %v", i, gap, lineGap)
+		}
+	}
+	// Between bursts: the gap sets the average rate — Seg/rate = 128 µs
+	// from burst start to burst start, so arr[16]-arr[0] ≈ 128 µs.
+	cycle := arr[16].Sub(arr[0])
+	want := des.DurationFromSeconds(float64(p.Seg) / rate)
+	if cycle < want-5*des.Microsecond || cycle > want+5*des.Microsecond {
+		t.Errorf("burst cycle %v, want ~%v (Seg/rate)", cycle, want)
+	}
+}
+
+func TestBurstAverageRateMatchesTarget(t *testing.T) {
+	p := DefaultParams()
+	p.Burst = true
+	nw := netsim.New(1)
+	star := netsim.NewStar(nw, netsim.StarConfig{
+		Senders: 1,
+		Link:    netsim.LinkConfig{Bandwidth: 1.25e9, PropDelay: des.Microsecond},
+	})
+	var bytes int64
+	star.Receiver.Transport = netsim.TransportFunc(func(h *netsim.Host, pkt *netsim.Packet) {
+		if pkt.Kind == netsim.Data {
+			bytes += int64(pkt.Size)
+		}
+	})
+	ep, err := NewEndpoint(star.Senders[0], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rate = 2.5e8
+	if _, err := ep.NewFlow(0, star.Receiver.ID(), -1, 0, rate); err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 20 * des.Millisecond
+	nw.Sim.RunUntil(des.Time(horizon))
+	got := float64(bytes) / horizon.Seconds()
+	if got < rate*0.95 || got > rate*1.05 {
+		t.Errorf("delivered %v B/s, want ~%v (burst gap sets the average)", got, rate)
+	}
+}

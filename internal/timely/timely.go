@@ -1,0 +1,417 @@
+// Package timely implements the TIMELY (Algorithm 1) and patched TIMELY
+// (Algorithm 2) endpoints of §4 for the packet-level simulator: RTT
+// measurement once per completion event, the EWMA RTT-gradient engine, and
+// both pacing disciplines — per-packet pacing and the per-burst chunk
+// pacing the TIMELY implementation uses (§4.2, Figure 10).
+package timely
+
+import (
+	"errors"
+	"fmt"
+
+	"ecndelay/internal/des"
+	"ecndelay/internal/netsim"
+)
+
+// Params are the TIMELY knobs of [21], in wire units (bytes, bytes/s).
+type Params struct {
+	EWMA    float64      // α: weight of the newest RTT difference (0.875)
+	Beta    float64      // β: multiplicative decrease factor
+	Delta   float64      // δ: additive increase step, bytes/s
+	TLow    des.Duration // additive-increase RTT threshold
+	THigh   des.Duration // multiplicative-decrease RTT threshold
+	MinRTT  des.Duration // D_minRTT: gradient normalisation & update gate
+	Seg     int          // completion-event segment size, bytes
+	Burst   bool         // per-burst pacing (chunks at line rate) vs per-packet
+	MinRate float64      // rate floor, bytes/s
+
+	// BetaHigh is the decrease factor for the newRTT > THigh emergency
+	// branch. Zero means Beta. Patched TIMELY shrinks Beta to 0.008 for
+	// the in-band term while the THigh brake keeps the original 0.8 —
+	// the §4.3 fix targets the fixed-point structure, "without changing
+	// the dynamics of TIMELY's queue build up" (§5.1).
+	BetaHigh float64
+
+	// Patched selects Algorithm 2 (the §4.3 fix).
+	Patched bool
+	// RTTRef is Algorithm 2's reference RTT; rate decrease scales with
+	// (newRTT-RTTRef)/RTTRef. The paper's q' = C·T_low corresponds to
+	// RTTRef ≈ T_low plus the topology's base RTT.
+	RTTRef des.Duration
+
+	// HAI enables hyper-active increase after five consecutive additive
+	// increases (present in [21], ignored by the paper's models; off by
+	// default).
+	HAI bool
+
+	// GradClamp bounds the normalised RTT gradient to ±GradClamp before
+	// the multiplicative decrease (0: unbounded, the Algorithm 1
+	// literal). A bound of 1 caps the per-update decrease at β, which is
+	// how a hardware implementation keeps one noisy sample from zeroing
+	// the rate.
+	GradClamp float64
+}
+
+// DefaultParams returns the footnote-4 parameters with 16 KB segments and
+// per-packet pacing.
+func DefaultParams() Params {
+	return Params{
+		EWMA:    0.875,
+		Beta:    0.8,
+		Delta:   10e6 / 8,
+		TLow:    50 * des.Microsecond,
+		THigh:   500 * des.Microsecond,
+		MinRTT:  20 * des.Microsecond,
+		Seg:     16000,
+		MinRate: 1e6 / 8,
+	}
+}
+
+// DefaultPatchedParams returns the §4.3 patched parameters: β = 0.008,
+// Seg = 16 KB, RTTRef = T_low + 10 µs of base RTT.
+func DefaultPatchedParams() Params {
+	p := DefaultParams()
+	p.Patched = true
+	p.BetaHigh = p.Beta // keep the original 0.8 emergency brake
+	p.Beta = 0.008
+	p.RTTRef = p.TLow + 10*des.Microsecond
+	return p
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	switch {
+	case p.EWMA <= 0 || p.EWMA > 1:
+		return errors.New("timely: EWMA must be in (0,1]")
+	case p.Beta <= 0 || p.Beta >= 1:
+		return errors.New("timely: Beta must be in (0,1)")
+	case p.Delta <= 0:
+		return errors.New("timely: Delta must be positive")
+	case p.TLow < 0 || p.THigh <= p.TLow:
+		return errors.New("timely: need 0 <= TLow < THigh")
+	case p.MinRTT <= 0:
+		return errors.New("timely: MinRTT must be positive")
+	case p.Seg < netsim.DataMTU:
+		return errors.New("timely: Seg must be at least one MTU")
+	case p.MinRate <= 0:
+		return errors.New("timely: MinRate must be positive")
+	case p.Patched && p.RTTRef <= 0:
+		return errors.New("timely: patched mode needs RTTRef")
+	}
+	return nil
+}
+
+// Completion reports a finished flow at the receiver.
+type Completion struct {
+	Flow  int
+	Bytes int64
+	At    des.Time
+}
+
+// Endpoint is the per-host TIMELY engine (both sender and receiver roles).
+type Endpoint struct {
+	host  *netsim.Host
+	p     Params
+	flows map[int]*Sender
+
+	rxBytes map[int]int64
+	// OnComplete fires when a flow's last packet arrives here.
+	OnComplete func(Completion)
+}
+
+// NewEndpoint attaches a TIMELY engine to h.
+func NewEndpoint(h *netsim.Host, p Params) (*Endpoint, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Endpoint{
+		host: h, p: p,
+		flows:   make(map[int]*Sender),
+		rxBytes: make(map[int]int64),
+	}
+	h.Transport = e
+	return e, nil
+}
+
+// Host returns the attached host.
+func (e *Endpoint) Host() *netsim.Host { return e.host }
+
+// ActiveFlows counts flows currently sending from this host.
+func (e *Endpoint) ActiveFlows() int {
+	n := 0
+	for _, s := range e.flows {
+		if s.started && !s.done {
+			n++
+		}
+	}
+	return n
+}
+
+// Handle implements netsim.Transport.
+func (e *Endpoint) Handle(h *netsim.Host, pkt *netsim.Packet) {
+	switch pkt.Kind {
+	case netsim.Data:
+		e.handleData(pkt)
+	case netsim.Ack:
+		if s, ok := e.flows[pkt.Flow]; ok {
+			s.onAck(pkt)
+		}
+	}
+}
+
+func (e *Endpoint) handleData(pkt *netsim.Packet) {
+	e.rxBytes[pkt.Flow] += int64(pkt.Size)
+	if pkt.AckReq || pkt.Last {
+		e.host.Send(&netsim.Packet{
+			Flow: pkt.Flow, Dst: pkt.Src,
+			Size: netsim.CtrlSize, Kind: netsim.Ack,
+			EchoT: pkt.SentAt, Bytes: pkt.Size,
+		})
+	}
+	if pkt.Last && e.OnComplete != nil {
+		e.OnComplete(Completion{Flow: pkt.Flow, Bytes: e.rxBytes[pkt.Flow], At: e.host.Now()})
+	}
+}
+
+// Sender runs Algorithm 1 (or 2) for one flow.
+type Sender struct {
+	e    *Endpoint
+	id   int
+	dst  int
+	size int64 // <0: unbounded
+
+	rate      float64
+	startRate float64
+
+	prevRTT    des.Duration
+	rttDiff    float64 // seconds
+	haveRTT    bool
+	lastUpdate des.Time
+	aiStreak   int // consecutive additive increases (HAI)
+
+	segBytes int64 // bytes sent in the current segment
+	sent     int64
+	started  bool
+	done     bool
+
+	// RateHook, if non-nil, observes every rate change.
+	RateHook func(t des.Time, rate float64)
+}
+
+// NewFlow registers a flow of size bytes (size < 0: unbounded) toward host
+// dst, starting at the given time. startRate <= 0 selects the [21] default
+// of C/(N+1), computed at start time from the flows active on this host.
+func (e *Endpoint) NewFlow(id int, dst int, size int64, start des.Time, startRate float64) (*Sender, error) {
+	if _, dup := e.flows[id]; dup {
+		return nil, fmt.Errorf("timely: duplicate flow id %d", id)
+	}
+	s := &Sender{e: e, id: id, dst: dst, size: size, startRate: startRate}
+	e.flows[id] = s
+	e.host.Net().Sim.At(start, s.start)
+	return s, nil
+}
+
+// Rate returns the current rate in bytes/s.
+func (s *Sender) Rate() float64 { return s.rate }
+
+// Gradient returns the current normalised RTT gradient.
+func (s *Sender) Gradient() float64 { return s.rttDiff / s.e.p.MinRTT.Seconds() }
+
+// Done reports whether all bytes were handed to the NIC.
+func (s *Sender) Done() bool { return s.done }
+
+// SentBytes reports bytes handed to the NIC so far.
+func (s *Sender) SentBytes() int64 { return s.sent }
+
+func (s *Sender) start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	if s.startRate > 0 {
+		s.rate = s.startRate
+	} else {
+		n := s.e.ActiveFlows() // this flow already counts as active
+		s.rate = s.e.host.LineRate() / float64(n+1)
+	}
+	s.clampRate()
+	if s.e.p.Burst {
+		s.sendBurst()
+	} else {
+		s.sendNextPacket()
+	}
+}
+
+func (s *Sender) clampRate() {
+	line := s.e.host.LineRate()
+	if s.rate > line {
+		s.rate = line
+	}
+	if s.rate < s.e.p.MinRate {
+		s.rate = s.e.p.MinRate
+	}
+}
+
+// nextPacket builds the next data packet, flagging segment boundaries
+// (AckReq) and flow completion (Last). Returns nil when the flow is done.
+func (s *Sender) nextPacket() *netsim.Packet {
+	size := int64(netsim.DataMTU)
+	last := false
+	if s.size >= 0 {
+		remain := s.size - s.sent
+		if remain <= 0 {
+			return nil
+		}
+		if remain <= size {
+			size = remain
+			last = true
+		}
+	}
+	s.segBytes += size
+	ackReq := last
+	if s.segBytes >= int64(s.e.p.Seg) {
+		ackReq = true
+		s.segBytes = 0
+	}
+	pkt := &netsim.Packet{
+		Flow: s.id, Dst: s.dst, Size: int(size),
+		Kind: netsim.Data, ECT: true, Seq: s.sent,
+		Last: last, AckReq: ackReq,
+	}
+	s.sent += size
+	return pkt
+}
+
+// sendNextPacket implements per-packet pacing: every packet is spaced by
+// size/rate.
+func (s *Sender) sendNextPacket() {
+	if s.done {
+		return
+	}
+	pkt := s.nextPacket()
+	if pkt == nil {
+		s.done = true
+		return
+	}
+	s.e.host.Send(pkt)
+	if pkt.Last {
+		s.done = true
+		return
+	}
+	gap := des.DurationFromSeconds(float64(pkt.Size) / s.rate)
+	s.e.host.Net().Sim.Schedule(gap, s.sendNextPacket)
+}
+
+// sendBurst implements per-burst pacing: a whole segment is handed to the
+// NIC at once (it drains at line rate), and the next burst is scheduled so
+// the average rate equals the target rate (§4.2).
+func (s *Sender) sendBurst() {
+	if s.done {
+		return
+	}
+	burstBytes := int64(0)
+	for burstBytes < int64(s.e.p.Seg) {
+		pkt := s.nextPacket()
+		if pkt == nil {
+			s.done = true
+			break
+		}
+		s.e.host.Send(pkt)
+		burstBytes += int64(pkt.Size)
+		if pkt.Last {
+			s.done = true
+			break
+		}
+		if pkt.AckReq {
+			break // segment boundary
+		}
+	}
+	if s.done {
+		return
+	}
+	gap := des.DurationFromSeconds(float64(burstBytes) / s.rate)
+	s.e.host.Net().Sim.Schedule(gap, s.sendBurst)
+}
+
+// onAck is the completion event: compute the RTT sample and run the rate
+// update, gated to once per MinRTT as in [21] §5.
+func (s *Sender) onAck(pkt *netsim.Packet) {
+	if !s.started {
+		return
+	}
+	now := s.e.host.Now()
+	newRTT := now.Sub(pkt.EchoT)
+	if s.haveRTT && now.Sub(s.lastUpdate) < s.e.p.MinRTT {
+		return
+	}
+	s.update(newRTT)
+	s.lastUpdate = now
+	if s.RateHook != nil {
+		s.RateHook(now, s.rate)
+	}
+}
+
+// update is Algorithm 1 (or Algorithm 2 when Patched).
+func (s *Sender) update(newRTT des.Duration) {
+	p := s.e.p
+	if !s.haveRTT {
+		s.haveRTT = true
+		s.prevRTT = newRTT
+		return
+	}
+	newDiff := (newRTT - s.prevRTT).Seconds()
+	s.prevRTT = newRTT
+	s.rttDiff = (1-p.EWMA)*s.rttDiff + p.EWMA*newDiff
+	gradient := s.rttDiff / p.MinRTT.Seconds()
+
+	switch {
+	case newRTT < p.TLow:
+		s.additive()
+	case newRTT > p.THigh:
+		s.aiStreak = 0
+		bh := p.BetaHigh
+		if bh == 0 {
+			bh = p.Beta
+		}
+		s.rate *= 1 - bh*(1-p.THigh.Seconds()/newRTT.Seconds())
+	default:
+		if p.Patched {
+			// Algorithm 2 lines 9-12.
+			w := Weight(gradient)
+			errTerm := (newRTT - p.RTTRef).Seconds() / p.RTTRef.Seconds()
+			s.rate = p.Delta*(1-w) + s.rate*(1-p.Beta*w*errTerm)
+			s.aiStreak = 0
+		} else if gradient <= 0 {
+			s.additive()
+		} else {
+			s.aiStreak = 0
+			g := gradient
+			if p.GradClamp > 0 && g > p.GradClamp {
+				g = p.GradClamp
+			}
+			s.rate *= 1 - p.Beta*g
+		}
+	}
+	s.clampRate()
+}
+
+func (s *Sender) additive() {
+	s.aiStreak++
+	step := s.e.p.Delta
+	if s.e.p.HAI && s.aiStreak >= 5 {
+		step *= 5
+	}
+	s.rate += step
+}
+
+// Weight is the Eq. 30 linear rate-decrease weight used by Algorithm 2.
+func Weight(g float64) float64 {
+	switch {
+	case g <= -0.25:
+		return 0
+	case g >= 0.25:
+		return 1
+	default:
+		return 2*g + 0.5
+	}
+}

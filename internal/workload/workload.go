@@ -1,0 +1,162 @@
+// Package workload generates the §5.1 traffic: flow sizes drawn from the
+// empirical web-search distribution of the DCTCP paper [2] (the same
+// distribution used by pFabric [5] and ProjecToR [12]), Poisson flow
+// arrivals whose rate sets the bottleneck load factor, and random
+// sender/receiver pairing on the Figure 13 dumbbell.
+//
+// The original production trace is proprietary; the published CDF it was
+// condensed to is what the paper itself simulates from, and what this
+// package reproduces.
+package workload
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Empirical is a piecewise-linear CDF over values (e.g. flow sizes in
+// bytes), sampled by inverse transform.
+type Empirical struct {
+	x   []float64 // values, strictly increasing
+	cdf []float64 // cumulative probability at x, ending at 1
+}
+
+// NewEmpirical builds a distribution from (value, cdf) points. The cdf
+// column must be non-decreasing, start at 0 and end at 1; values must be
+// strictly increasing.
+func NewEmpirical(x, cdf []float64) (*Empirical, error) {
+	if len(x) != len(cdf) || len(x) < 2 {
+		return nil, errors.New("workload: need matching x/cdf with >= 2 points")
+	}
+	if cdf[0] != 0 || cdf[len(cdf)-1] != 1 {
+		return nil, errors.New("workload: cdf must start at 0 and end at 1")
+	}
+	for i := 1; i < len(x); i++ {
+		if x[i] <= x[i-1] || cdf[i] < cdf[i-1] {
+			return nil, errors.New("workload: x must increase strictly, cdf monotonically")
+		}
+	}
+	return &Empirical{x: append([]float64(nil), x...), cdf: append([]float64(nil), cdf...)}, nil
+}
+
+// Sample draws one value using rng.
+func (e *Empirical) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(e.cdf, u)
+	if i == 0 {
+		return e.x[0]
+	}
+	if i >= len(e.cdf) {
+		return e.x[len(e.x)-1]
+	}
+	lo, hi := e.cdf[i-1], e.cdf[i]
+	frac := 0.5
+	if hi > lo {
+		frac = (u - lo) / (hi - lo)
+	}
+	return e.x[i-1] + frac*(e.x[i]-e.x[i-1])
+}
+
+// Mean is the analytic mean of the piecewise-linear distribution.
+func (e *Empirical) Mean() float64 {
+	m := 0.0
+	for i := 1; i < len(e.x); i++ {
+		mass := e.cdf[i] - e.cdf[i-1]
+		m += mass * (e.x[i] + e.x[i-1]) / 2
+	}
+	return m
+}
+
+// Quantile returns the value at cumulative probability p in [0,1].
+func (e *Empirical) Quantile(p float64) float64 {
+	p = math.Max(0, math.Min(1, p))
+	i := sort.SearchFloat64s(e.cdf, p)
+	if i == 0 {
+		return e.x[0]
+	}
+	if i >= len(e.cdf) {
+		return e.x[len(e.x)-1]
+	}
+	lo, hi := e.cdf[i-1], e.cdf[i]
+	frac := 0.5
+	if hi > lo {
+		frac = (p - lo) / (hi - lo)
+	}
+	return e.x[i-1] + frac*(e.x[i]-e.x[i-1])
+}
+
+// WebSearch returns the DCTCP [2] web-search flow-size distribution in
+// bytes (the widely used condensation: heavy-tailed, ~57% of flows under
+// the paper's 100 KB "small flow" threshold, mean ≈ 1.1 MB).
+func WebSearch() *Empirical {
+	e, err := NewEmpirical(
+		[]float64{1e3, 6e3, 13e3, 19e3, 33e3, 53e3, 133e3, 667e3, 1.333e6, 3.333e6, 6.667e6, 20e6},
+		[]float64{0, 0.15, 0.20, 0.30, 0.40, 0.53, 0.60, 0.70, 0.80, 0.90, 0.97, 1.0},
+	)
+	if err != nil {
+		panic(err) // static table, cannot fail
+	}
+	return e
+}
+
+// Flow is one generated transfer.
+type Flow struct {
+	ID     int
+	Start  float64 // seconds
+	Size   int64   // bytes
+	Sender int     // index into the sender set
+	Recv   int     // index into the receiver set
+}
+
+// Config drives Generate.
+type Config struct {
+	// Load is the target average offered load on the bottleneck in
+	// bytes/second (the paper's load factor 1.0 = 8 Gb/s = 1e9 B/s).
+	Load float64
+	// Sizes is the flow-size distribution.
+	Sizes *Empirical
+	// Senders and Receivers are the pool sizes to pair from.
+	Senders, Receivers int
+	// Horizon is the generation window in seconds.
+	Horizon float64
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+// Generate produces a Poisson flow arrival sequence: exponential
+// inter-arrival times with rate Load/mean(Sizes), each flow between a
+// uniformly random sender/receiver pair.
+func Generate(cfg Config) ([]Flow, error) {
+	switch {
+	case cfg.Load <= 0:
+		return nil, errors.New("workload: Load must be positive")
+	case cfg.Sizes == nil:
+		return nil, errors.New("workload: nil size distribution")
+	case cfg.Senders <= 0 || cfg.Receivers <= 0:
+		return nil, errors.New("workload: need senders and receivers")
+	case cfg.Horizon <= 0:
+		return nil, errors.New("workload: Horizon must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	lambda := cfg.Load / cfg.Sizes.Mean() // flows per second
+	var flows []Flow
+	t := 0.0
+	id := 0
+	for {
+		t += rng.ExpFloat64() / lambda
+		if t >= cfg.Horizon {
+			break
+		}
+		flows = append(flows, Flow{
+			ID:     id,
+			Start:  t,
+			Size:   int64(math.Max(1, cfg.Sizes.Sample(rng))),
+			Sender: rng.Intn(cfg.Senders),
+			Recv:   rng.Intn(cfg.Receivers),
+		})
+		id++
+	}
+	return flows, nil
+}

@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpiricalValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		x, cdf []float64
+	}{
+		{"length mismatch", []float64{1, 2}, []float64{0, 0.5, 1}},
+		{"too short", []float64{1}, []float64{1}},
+		{"cdf not starting at 0", []float64{1, 2}, []float64{0.1, 1}},
+		{"cdf not ending at 1", []float64{1, 2}, []float64{0, 0.9}},
+		{"x not increasing", []float64{2, 2}, []float64{0, 1}},
+		{"cdf decreasing", []float64{1, 2, 3}, []float64{0, 0.8, 0.5}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewEmpirical(c.x, c.cdf); err == nil {
+				t.Error("accepted invalid input")
+			}
+		})
+	}
+	if _, err := NewEmpirical([]float64{1, 10}, []float64{0, 1}); err != nil {
+		t.Errorf("rejected valid input: %v", err)
+	}
+}
+
+func TestEmpiricalUniformCase(t *testing.T) {
+	// Two points (0,0)-(10,1) is Uniform(0,10).
+	e, err := NewEmpirical([]float64{0, 10}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+	if got := e.Quantile(0.25); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Q(0.25) = %v, want 2.5", got)
+	}
+	rng := rand.New(rand.NewSource(1))
+	sum := 0.0
+	n := 200000
+	for i := 0; i < n; i++ {
+		v := e.Sample(rng)
+		if v < 0 || v > 10 {
+			t.Fatalf("sample %v out of support", v)
+		}
+		sum += v
+	}
+	if got := sum / float64(n); math.Abs(got-5) > 0.05 {
+		t.Errorf("sample mean %v, want ~5", got)
+	}
+}
+
+func TestWebSearchShape(t *testing.T) {
+	ws := WebSearch()
+	// Heavy tail: mean near 1.1 MB but median well under 100 KB.
+	mean := ws.Mean()
+	if mean < 0.8e6 || mean > 1.5e6 {
+		t.Errorf("mean = %v, want ~1.1e6", mean)
+	}
+	med := ws.Quantile(0.5)
+	if med > 100e3 {
+		t.Errorf("median = %v, want < 100 KB (heavy tail)", med)
+	}
+	// The paper's small-flow threshold (100 KB) covers roughly half the
+	// flows by count.
+	rng := rand.New(rand.NewSource(2))
+	small := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if ws.Sample(rng) < 100e3 {
+			small++
+		}
+	}
+	frac := float64(small) / float64(n)
+	if frac < 0.5 || frac < 0.45 || frac > 0.7 {
+		t.Errorf("small-flow fraction %v, want ~0.57", frac)
+	}
+}
+
+// Property: quantiles are monotone and sampling respects the support.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	ws := WebSearch()
+	f := func(a, b uint8) bool {
+		p1, p2 := float64(a)/255, float64(b)/255
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		q1, q2 := ws.Quantile(p1), ws.Quantile(p2)
+		return q1 <= q2+1e-9 && q1 >= 1e3-1e-9 && q2 <= 20e6+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the empirical CDF of samples matches the specified CDF at the
+// knot points (Glivenko-Cantelli at the table entries).
+func TestSamplingMatchesCDF(t *testing.T) {
+	ws := WebSearch()
+	rng := rand.New(rand.NewSource(3))
+	n := 200000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = ws.Sample(rng)
+	}
+	check := func(x, wantP float64) {
+		count := 0
+		for _, s := range samples {
+			if s <= x {
+				count++
+			}
+		}
+		got := float64(count) / float64(n)
+		if math.Abs(got-wantP) > 0.01 {
+			t.Errorf("P(X <= %v) = %v, want %v", x, got, wantP)
+		}
+	}
+	check(6e3, 0.15)
+	check(53e3, 0.53)
+	check(1.333e6, 0.80)
+	check(6.667e6, 0.97)
+}
+
+func TestGenerateValidation(t *testing.T) {
+	ws := WebSearch()
+	bad := []Config{
+		{Load: 0, Sizes: ws, Senders: 1, Receivers: 1, Horizon: 1},
+		{Load: 1, Senders: 1, Receivers: 1, Horizon: 1},
+		{Load: 1, Sizes: ws, Senders: 0, Receivers: 1, Horizon: 1},
+		{Load: 1, Sizes: ws, Senders: 1, Receivers: 1, Horizon: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateLoadAndPairing(t *testing.T) {
+	ws := WebSearch()
+	cfg := Config{
+		Load:    1e9, // 8 Gb/s
+		Sizes:   ws,
+		Senders: 10, Receivers: 10,
+		Horizon: 20,
+		Seed:    7,
+	}
+	flows, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) == 0 {
+		t.Fatal("no flows generated")
+	}
+	var bytes int64
+	usedS := map[int]bool{}
+	usedR := map[int]bool{}
+	prev := -1.0
+	for _, f := range flows {
+		if f.Start <= prev {
+			t.Fatal("arrivals not strictly increasing")
+		}
+		prev = f.Start
+		if f.Start < 0 || f.Start >= cfg.Horizon {
+			t.Fatalf("flow start %v outside horizon", f.Start)
+		}
+		if f.Sender < 0 || f.Sender >= 10 || f.Recv < 0 || f.Recv >= 10 {
+			t.Fatalf("flow pairing out of range: %+v", f)
+		}
+		usedS[f.Sender] = true
+		usedR[f.Recv] = true
+		bytes += f.Size
+	}
+	offered := float64(bytes) / cfg.Horizon
+	if offered < 0.8e9 || offered > 1.2e9 {
+		t.Errorf("offered load %v B/s, want ~1e9", offered)
+	}
+	if len(usedS) < 8 || len(usedR) < 8 {
+		t.Errorf("pairing not spread: %d senders, %d receivers used", len(usedS), len(usedR))
+	}
+	// Determinism.
+	again, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(flows) || again[3] != flows[3] {
+		t.Error("same seed produced a different workload")
+	}
+}
+
+func TestGenerateLoadScaling(t *testing.T) {
+	ws := WebSearch()
+	count := func(load float64) int {
+		flows, err := Generate(Config{Load: load, Sizes: ws, Senders: 5, Receivers: 5, Horizon: 20, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(flows)
+	}
+	lo, hi := count(2.5e8), count(1e9)
+	if ratio := float64(hi) / float64(lo); ratio < 3 || ratio > 5.5 {
+		t.Errorf("flow count ratio %v for 4x load, want ~4", ratio)
+	}
+}
