@@ -1,0 +1,29 @@
+# CI gates for the ecndelay reproduction. `make ci` is the full gate;
+# `make race` is the correctness gate for the concurrent sweep engine.
+
+GO ?= go
+
+.PHONY: ci build vet fmt test race bench
+
+ci: fmt vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+# Race gate for the concurrent code paths: the sweep engine and the
+# experiment registry it drives.
+race:
+	$(GO) test -race ./internal/sweep ./internal/exp
+
+bench:
+	$(GO) test -bench=Sweep -run='^$$' .

@@ -273,6 +273,42 @@ func BenchmarkAblationTuning(b *testing.B) {
 	}
 }
 
+// ---- Sweep engine (internal/sweep) ----
+
+// sweepGridJobs is a Quick-scale runner grid: the cheap analytic
+// experiments crossed with a few seeds, ~16 jobs.
+func sweepGridJobs(b *testing.B) []ecndelay.SweepJob {
+	jobs, err := ecndelay.ExperimentSweepJobs(
+		[]string{"fig3", "fig11", "eq14", "thm2"},
+		ecndelay.ExperimentOptions{Scale: ecndelay.Quick},
+		[]int64{1, 2, 3, 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return jobs
+}
+
+func benchSweep(b *testing.B, workers int) {
+	jobs := sweepGridJobs(b)
+	for i := 0; i < b.N; i++ {
+		sum, err := ecndelay.RunSweep(ecndelay.SweepConfig{Workers: workers, BaseSeed: 1}, jobs, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Failed > 0 {
+			b.Fatalf("%d jobs failed", sum.Failed)
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "jobs")
+}
+
+// BenchmarkSweepSerial runs the grid on one worker: the baseline the
+// parallel speedup is tracked against.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel runs the same grid on all CPUs.
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
 // Ensure every registered experiment has a benchmark above (compile-time
 // drift guard, executed as a test).
 func TestEveryExperimentHasABenchmark(t *testing.T) {

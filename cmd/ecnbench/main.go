@@ -4,15 +4,21 @@
 //	ecnbench -list
 //	ecnbench -exp fig14
 //	ecnbench -exp fig3,fig11 -full
-//	ecnbench -exp all -full
+//	ecnbench -exp all -full -workers 8
 //
 // Quick mode (default) runs down-scaled versions; -full runs paper-scale
-// experiments (the FCT sweeps take a few minutes).
+// experiments (the FCT sweeps take a few minutes, so -workers > 1 pays
+// off there). Reports always print in selection order, whatever order
+// the experiments finish in.
+//
+// Exit status: 0 on success, 1 if any experiment failed, 2 on bad usage
+// (including an unknown experiment id).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -21,20 +27,29 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ecnbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expFlag = flag.String("exp", "all", "experiment id, comma list, or 'all'")
-		full    = flag.Bool("full", false, "run paper-scale experiments instead of quick versions")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		list    = flag.Bool("list", false, "list available experiments and exit")
+		expFlag = fs.String("exp", "all", "experiment id, comma list, or 'all'")
+		full    = fs.Bool("full", false, "run paper-scale experiments instead of quick versions")
+		seed    = fs.Int64("seed", 1, "simulation seed")
+		list    = fs.Bool("list", false, "list available experiments and exit")
+		workers = fs.Int("workers", 1, "experiments to run concurrently (0: GOMAXPROCS)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		fmt.Printf("%-8s %-28s %s\n", "ID", "REPRODUCES", "TITLE")
+		fmt.Fprintf(stdout, "%-8s %-28s %s\n", "ID", "REPRODUCES", "TITLE")
 		for _, r := range ecndelay.Runners() {
-			fmt.Printf("%-8s %-28s %s\n", r.ID, r.Figure, r.Title)
+			fmt.Fprintf(stdout, "%-8s %-28s %s\n", r.ID, r.Figure, r.Title)
 		}
-		return
+		return 0
 	}
 
 	opts := ecndelay.ExperimentOptions{Scale: ecndelay.Quick, Seed: *seed}
@@ -50,26 +65,87 @@ func main() {
 			id = strings.TrimSpace(id)
 			r, ok := ecndelay.GetRunner(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "ecnbench: unknown experiment %q (try -list)\n", id)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "ecnbench: unknown experiment %q (try -list)\n", id)
+				return 2
 			}
 			selected = append(selected, r)
 		}
 	}
 
-	failed := 0
-	for _, r := range selected {
-		t0 := time.Now()
-		rep, err := r.Run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ecnbench: %s failed: %v\n", r.ID, err)
-			failed++
+	// Each experiment is one sweep job; the renderSink streams reports
+	// to stdout in selection order as they complete. Every runner gets
+	// the same -seed, as the serial version always did.
+	reports := make([]*ecndelay.Report, len(selected))
+	elapsed := make([]time.Duration, len(selected))
+	jobs := make([]ecndelay.SweepJob, len(selected))
+	for i, r := range selected {
+		i, r := i, r
+		jobs[i] = ecndelay.SweepJob{
+			ID: r.ID,
+			Run: func(int64) (map[string]float64, error) {
+				t0 := time.Now()
+				rep, err := r.Run(opts)
+				elapsed[i] = time.Since(t0)
+				if err != nil {
+					return nil, err
+				}
+				reports[i] = rep
+				return rep.Metrics, nil
+			},
+		}
+	}
+	sink := &renderSink{reports: reports, elapsed: elapsed, stdout: stdout, stderr: stderr}
+	var progress io.Writer
+	if *workers != 1 {
+		progress = stderr
+	}
+	if _, err := ecndelay.RunSweep(ecndelay.SweepConfig{
+		Workers: *workers, BaseSeed: *seed, Progress: progress,
+	}, jobs, sink); err != nil {
+		fmt.Fprintf(stderr, "ecnbench: %v\n", err)
+		return 1
+	}
+	if sink.failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// renderSink renders experiment reports in submission order while
+// results arrive in completion order: out-of-order results are buffered
+// until their predecessors land. The engine delivers results from a
+// single goroutine, so no locking is needed.
+type renderSink struct {
+	reports []*ecndelay.Report
+	elapsed []time.Duration
+	stdout  io.Writer
+	stderr  io.Writer
+
+	buf    map[int]ecndelay.SweepResult
+	next   int
+	failed int
+}
+
+func (s *renderSink) Completed(string) bool { return false }
+
+func (s *renderSink) Write(r ecndelay.SweepResult) error {
+	if s.buf == nil {
+		s.buf = make(map[int]ecndelay.SweepResult)
+	}
+	s.buf[r.Index] = r
+	for {
+		rr, ok := s.buf[s.next]
+		if !ok {
+			return nil
+		}
+		delete(s.buf, s.next)
+		s.next++
+		if rr.Err != "" {
+			fmt.Fprintf(s.stderr, "ecnbench: %s failed: %s\n", rr.JobID, rr.Err)
+			s.failed++
 			continue
 		}
-		rep.Render(os.Stdout)
-		fmt.Printf("[%s: %.1fs]\n\n", r.ID, time.Since(t0).Seconds())
-	}
-	if failed > 0 {
-		os.Exit(1)
+		s.reports[rr.Index].Render(s.stdout)
+		fmt.Fprintf(s.stdout, "[%s: %.1fs]\n\n", rr.JobID, s.elapsed[rr.Index].Seconds())
 	}
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exit code %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"fig3", "fig14", "extpfc"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+// A bad -exp value must not look like success in scripts/CI.
+func TestUnknownExperimentExitsNonZero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown experiment exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), `unknown experiment "nope"`) {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+	// ... including when buried in a comma list.
+	if code := run([]string{"-exp", "fig3,nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("comma-list exit code %d, want 2", code)
+	}
+}
+
+func TestBadFlagExitsNonZero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag exit code %d, want 2", code)
+	}
+}
+
+func TestQuickExperimentRuns(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "fig3,eq14"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	// Reports render in selection order with their timing lines.
+	i, j := strings.Index(text, "=== fig3"), strings.Index(text, "=== eq14")
+	if i < 0 || j < 0 || i > j {
+		t.Errorf("reports missing or out of order:\n%s", text)
+	}
+	if !strings.Contains(text, "[fig3:") || !strings.Contains(text, "[eq14:") {
+		t.Errorf("timing lines missing:\n%s", text)
+	}
+}
+
+// With -workers > 1 the same experiments still render in selection
+// order, and the run still succeeds.
+func TestParallelWorkersOrderedOutput(t *testing.T) {
+	serial := func() string {
+		var out, errOut strings.Builder
+		if code := run([]string{"-exp", "fig3,fig11,eq14,thm2"}, &out, &errOut); code != 0 {
+			t.Fatalf("serial exit code %d, stderr: %s", code, errOut.String())
+		}
+		return out.String()
+	}()
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "fig3,fig11,eq14,thm2", "-workers", "4"}, &out, &errOut); code != 0 {
+		t.Fatalf("parallel exit code %d, stderr: %s", code, errOut.String())
+	}
+	// Timing lines carry wall-clock values, so compare the order of the
+	// report headers rather than raw bytes.
+	order := func(s string) []int {
+		var idx []int
+		for _, h := range []string{"=== fig3", "=== fig11", "=== eq14", "=== thm2"} {
+			idx = append(idx, strings.Index(s, h))
+		}
+		return idx
+	}
+	so, po := order(serial), order(out.String())
+	for k := range so {
+		if so[k] < 0 || po[k] < 0 {
+			t.Fatalf("missing report header %d:\n%s", k, out.String())
+		}
+		if k > 0 && (so[k] < so[k-1] || po[k] < po[k-1]) {
+			t.Fatalf("reports out of order (serial %v, parallel %v)", so, po)
+		}
+	}
+}

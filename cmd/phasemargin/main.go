@@ -1,15 +1,18 @@
 // Command phasemargin sweeps the Bode phase margin of the linearised
 // DCQCN or patched TIMELY loop over flow counts and feedback delays,
-// producing the raw numbers behind Figures 3 and 11 as TSV.
+// producing the raw numbers behind Figures 3 and 11 as TSV. The grid
+// is fanned out over -workers goroutines through the sweep engine; the
+// output is identical to a serial run regardless of worker count.
 //
 //	phasemargin -model dcqcn -flows 1:64 -delays 1e-6,25e-6,50e-6,85e-6,100e-6
-//	phasemargin -model patched -flows 2:64
+//	phasemargin -model patched -flows 2:64 -workers 8
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
@@ -22,11 +25,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("phasemargin: ")
 	var (
-		model  = flag.String("model", "dcqcn", "dcqcn | patched")
-		flows  = flag.String("flows", "1:64", "N range lo:hi or comma list")
-		delays = flag.String("delays", "1e-6,25e-6,50e-6,85e-6,100e-6", "DCQCN τ* values, seconds")
-		rai    = flag.Float64("rai", 0, "DCQCN R_AI override, bits/s (0: default 40e6)")
-		kmax   = flag.Float64("kmax", 0, "DCQCN K_max override, KB (0: default 200)")
+		model   = flag.String("model", "dcqcn", "dcqcn | patched")
+		flows   = flag.String("flows", "1:64", "N range lo:hi or comma list")
+		delays  = flag.String("delays", "1e-6,25e-6,50e-6,85e-6,100e-6", "DCQCN τ* values, seconds")
+		rai     = flag.Float64("rai", 0, "DCQCN R_AI override, bits/s (0: default 40e6)")
+		kmax    = flag.Float64("kmax", 0, "DCQCN K_max override, KB (0: default 200)")
+		workers = flag.Int("workers", 0, "parallel workers (0: GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -47,57 +51,139 @@ func main() {
 			}
 			ds = append(ds, v)
 		}
-		fmt.Fprint(out, "# N")
-		for _, d := range ds {
-			fmt.Fprintf(out, "\tpm_%.0fus", d*1e6)
+		results, err := runGrid(dcqcnJobs(ns, ds, *rai, *kmax), *workers)
+		if err != nil {
+			log.Fatal(err)
 		}
-		fmt.Fprintln(out)
-		for _, n := range ns {
-			fmt.Fprintf(out, "%d", n)
-			for _, d := range ds {
-				p := ecndelay.DefaultDCQCNParams(n)
-				p.TauStar = d
-				if *rai > 0 {
-					p.RAI = *rai / 8 / 1000
-				}
-				if *kmax > 0 {
-					p.Kmax = *kmax
-				}
-				loop, err := ecndelay.NewDCQCNLoop(p)
-				if err != nil {
-					log.Fatal(err)
-				}
-				res, err := ecndelay.PhaseMargin(loop)
-				if err != nil {
-					log.Fatal(err)
-				}
-				fmt.Fprintf(out, "\t%.2f", res.PhaseMarginDeg)
-			}
-			fmt.Fprintln(out)
+		if err := renderDCQCN(out, ns, ds, results); err != nil {
+			log.Fatal(err)
 		}
 	case "patched":
-		fmt.Fprintln(out, "# N\tq_star_kb\tpm_deg\tstable")
-		for _, n := range ns {
-			cfg := ecndelay.DefaultPatchedTimelyFluidConfig(n)
-			loop, err := ecndelay.NewPatchedTimelyLoop(cfg)
-			if err != nil {
-				fmt.Fprintf(out, "%d\t-\t-\t%v\n", n, err)
-				continue
-			}
-			res, err := ecndelay.PhaseMargin(loop)
-			if err != nil {
-				log.Fatal(err)
-			}
-			sys, err := ecndelay.NewPatchedTimelyFluid(cfg)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Fprintf(out, "%d\t%.1f\t%.2f\t%v\n",
-				n, sys.FixedPointQueue()/1000, res.PhaseMarginDeg, res.Stable)
+		results, err := runGrid(patchedJobs(ns), *workers)
+		if err != nil {
+			log.Fatal(err)
 		}
+		renderPatched(out, ns, results)
 	default:
 		log.Fatalf("unknown -model %q", *model)
 	}
+}
+
+// renderDCQCN writes the Figure 3 grid as TSV from row-major results.
+// Any failed cell aborts the table: a margin that cannot be computed on
+// this grid is an input error, not a data point.
+func renderDCQCN(out io.Writer, ns []int, ds []float64, results []ecndelay.SweepResult) error {
+	fmt.Fprint(out, "# N")
+	for _, d := range ds {
+		fmt.Fprintf(out, "\tpm_%.0fus", d*1e6)
+	}
+	fmt.Fprintln(out)
+	for i, n := range ns {
+		fmt.Fprintf(out, "%d", n)
+		for j := range ds {
+			r := results[i*len(ds)+j]
+			if r.Err != "" {
+				return fmt.Errorf("%s", r.Err)
+			}
+			fmt.Fprintf(out, "\t%.2f", r.Metrics["pm_deg"])
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// renderPatched writes the Figure 11 table; a failed row (typically no
+// fixed point at that N) renders inline, as the serial version did.
+func renderPatched(out io.Writer, ns []int, results []ecndelay.SweepResult) {
+	fmt.Fprintln(out, "# N\tq_star_kb\tpm_deg\tstable")
+	for i, n := range ns {
+		r := results[i]
+		if r.Err != "" {
+			fmt.Fprintf(out, "%d\t-\t-\t%s\n", n, r.Err)
+			continue
+		}
+		fmt.Fprintf(out, "%d\t%.1f\t%.2f\t%v\n",
+			n, r.Metrics["q_star_kb"], r.Metrics["pm_deg"], r.Metrics["stable"] > 0)
+	}
+}
+
+// runGrid fans the jobs out and returns results in job order.
+func runGrid(jobs []ecndelay.SweepJob, workers int) ([]ecndelay.SweepResult, error) {
+	sink := &ecndelay.SweepMemorySink{}
+	if _, err := ecndelay.RunSweep(ecndelay.SweepConfig{Workers: workers}, jobs, sink); err != nil {
+		return nil, err
+	}
+	return sink.Results(), nil
+}
+
+// dcqcnJobs builds one job per (N, τ*) cell, in row-major order.
+func dcqcnJobs(ns []int, ds []float64, rai, kmax float64) []ecndelay.SweepJob {
+	var jobs []ecndelay.SweepJob
+	for _, n := range ns {
+		for _, d := range ds {
+			n, d := n, d
+			jobs = append(jobs, ecndelay.SweepJob{
+				ID: fmt.Sprintf("dcqcn/n%d/d%g", n, d),
+				Run: func(int64) (map[string]float64, error) {
+					p := ecndelay.DefaultDCQCNParams(n)
+					p.TauStar = d
+					if rai > 0 {
+						p.RAI = rai / 8 / 1000
+					}
+					if kmax > 0 {
+						p.Kmax = kmax
+					}
+					loop, err := ecndelay.NewDCQCNLoop(p)
+					if err != nil {
+						return nil, err
+					}
+					res, err := ecndelay.PhaseMargin(loop)
+					if err != nil {
+						return nil, err
+					}
+					return map[string]float64{"pm_deg": res.PhaseMarginDeg}, nil
+				},
+			})
+		}
+	}
+	return jobs
+}
+
+// patchedJobs builds one job per flow count. A loop-construction error
+// (no fixed point) is a row value, not a sweep failure.
+func patchedJobs(ns []int) []ecndelay.SweepJob {
+	var jobs []ecndelay.SweepJob
+	for _, n := range ns {
+		n := n
+		jobs = append(jobs, ecndelay.SweepJob{
+			ID: fmt.Sprintf("patched/n%d", n),
+			Run: func(int64) (map[string]float64, error) {
+				cfg := ecndelay.DefaultPatchedTimelyFluidConfig(n)
+				loop, err := ecndelay.NewPatchedTimelyLoop(cfg)
+				if err != nil {
+					return nil, err
+				}
+				res, err := ecndelay.PhaseMargin(loop)
+				if err != nil {
+					return nil, err
+				}
+				sys, err := ecndelay.NewPatchedTimelyFluid(cfg)
+				if err != nil {
+					return nil, err
+				}
+				stable := 0.0
+				if res.Stable {
+					stable = 1
+				}
+				return map[string]float64{
+					"pm_deg":    res.PhaseMarginDeg,
+					"q_star_kb": sys.FixedPointQueue() / 1000,
+					"stable":    stable,
+				}, nil
+			},
+		})
+	}
+	return jobs
 }
 
 // parseInts accepts "lo:hi" (inclusive range) or a comma list.

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseIntsRange(t *testing.T) {
 	got, err := parseInts("3:6")
@@ -33,5 +36,36 @@ func TestParseIntsErrors(t *testing.T) {
 		if _, err := parseInts(bad); err == nil {
 			t.Errorf("parseInts(%q) accepted", bad)
 		}
+	}
+}
+
+// The rendered TSV must be byte-identical whether the grid runs on one
+// worker or several.
+func TestParallelGridMatchesSerial(t *testing.T) {
+	ns := []int{1, 2, 8, 10, 64}
+	ds := []float64{1e-6, 85e-6}
+
+	render := func(workers int) string {
+		var sb strings.Builder
+		results, err := runGrid(dcqcnJobs(ns, ds, 0, 0), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := renderDCQCN(&sb, ns, ds, results); err != nil {
+			t.Fatal(err)
+		}
+		presults, err := runGrid(patchedJobs([]int{2, 10, 64}), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		renderPatched(&sb, []int{2, 10, 64}, presults)
+		return sb.String()
+	}
+	serial := render(1)
+	if !strings.Contains(serial, "# N\tpm_1us\tpm_85us") {
+		t.Fatalf("unexpected header:\n%s", serial)
+	}
+	if parallel := render(4); parallel != serial {
+		t.Errorf("parallel TSV differs from serial:\n%s\nvs\n%s", parallel, serial)
 	}
 }

@@ -1,0 +1,275 @@
+// Command sweep runs a parameter grid of experiments through the
+// parallel sweep engine, checkpointing one JSONL row per job so an
+// interrupted sweep resumes where it stopped.
+//
+// Two grid kinds exist:
+//
+//   - pm: phase-margin cells over model × flows × delays — the raw
+//     numbers behind Figures 3 and 11:
+//
+//     sweep -kind pm -model dcqcn,patched -flows 1:64 \
+//     -delays 1e-6,25e-6,50e-6,85e-6,100e-6 -workers 8 -out pm.jsonl
+//
+//   - exp: registered experiments (see ecnbench -list) × seeds:
+//
+//     sweep -kind exp -exp fig14,fig15 -seeds 1:8 -full \
+//     -workers 4 -out fct.jsonl -resume
+//
+// Each row records the job id, its grid coordinates, the derived seed
+// and the experiment's metrics. Re-running with -resume skips every
+// job already checkpointed as successful; failed jobs run again. Rows
+// are deterministic: sorting the file by job id gives byte-identical
+// output for any -workers value.
+//
+// Exit status: 0 if every job succeeded, 1 if any failed, 2 on usage
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ecndelay"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		kind    = fs.String("kind", "pm", "grid kind: pm | exp")
+		model   = fs.String("model", "dcqcn", "pm: comma list of dcqcn | patched")
+		flows   = fs.String("flows", "1:64", "pm: N range lo:hi or comma list")
+		delays  = fs.String("delays", "1e-6,25e-6,50e-6,85e-6,100e-6", "pm: DCQCN τ* values, seconds")
+		expFlag = fs.String("exp", "all", "exp: experiment id, comma list, or 'all'")
+		seeds   = fs.String("seeds", "", "exp: seed range lo:hi or comma list (empty: one derived seed per job)")
+		full    = fs.Bool("full", false, "exp: paper-scale instead of quick")
+		out     = fs.String("out", "sweep.jsonl", "JSONL checkpoint file")
+		resume  = fs.Bool("resume", false, "skip jobs already completed in -out")
+		workers = fs.Int("workers", 0, "parallel workers (0: GOMAXPROCS)")
+		timeout = fs.Duration("timeout", 0, "per-job timeout (0: none)")
+		retries = fs.Int("retries", 0, "extra attempts per failed job")
+		seed    = fs.Int64("seed", 1, "base seed for per-job seed derivation")
+		quiet   = fs.Bool("quiet", false, "suppress progress reporting")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	jobs, err := buildJobs(*kind, *model, *flows, *delays, *expFlag, *seeds, *full)
+	if err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return 2
+	}
+
+	sink, err := ecndelay.OpenSweepJSONL(*out, *resume)
+	if err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return 2
+	}
+	defer sink.Close()
+	if *resume && sink.Resumed() > 0 {
+		// Count against this grid: a stale checkpoint may hold jobs
+		// that are no longer part of it.
+		done := 0
+		for _, j := range jobs {
+			if sink.Completed(j.ID) {
+				done++
+			}
+		}
+		fmt.Fprintf(stderr, "sweep: resuming, %d of %d jobs already done\n", done, len(jobs))
+	}
+
+	var progress io.Writer
+	if !*quiet {
+		progress = stderr
+	}
+	sum, err := ecndelay.RunSweep(ecndelay.SweepConfig{
+		Workers:  *workers,
+		Timeout:  *timeout,
+		Retries:  *retries,
+		BaseSeed: *seed,
+		Progress: progress,
+	}, jobs, sink)
+	if err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return 1
+	}
+	if sum.Failed > 0 {
+		fmt.Fprintf(stderr, "sweep: %d of %d jobs failed (see %s)\n", sum.Failed, sum.Total, *out)
+		return 1
+	}
+	return 0
+}
+
+// buildJobs expands the flag grid into the job matrix.
+func buildJobs(kind, model, flows, delays, expFlag, seeds string, full bool) ([]ecndelay.SweepJob, error) {
+	switch kind {
+	case "pm":
+		ns, err := parseInts(flows)
+		if err != nil {
+			return nil, fmt.Errorf("bad -flows: %v", err)
+		}
+		var jobs []ecndelay.SweepJob
+		for _, m := range strings.Split(model, ",") {
+			switch m = strings.TrimSpace(m); m {
+			case "dcqcn":
+				ds, err := parseFloats(delays)
+				if err != nil {
+					return nil, fmt.Errorf("bad -delays: %v", err)
+				}
+				for _, n := range ns {
+					for _, d := range ds {
+						jobs = append(jobs, pmDCQCNJob(n, d))
+					}
+				}
+			case "patched":
+				for _, n := range ns {
+					jobs = append(jobs, pmPatchedJob(n))
+				}
+			default:
+				return nil, fmt.Errorf("unknown -model %q", m)
+			}
+		}
+		return jobs, nil
+	case "exp":
+		var ids []string
+		if expFlag == "all" {
+			for _, r := range ecndelay.Runners() {
+				ids = append(ids, r.ID)
+			}
+		} else {
+			for _, id := range strings.Split(expFlag, ",") {
+				ids = append(ids, strings.TrimSpace(id))
+			}
+		}
+		var seedList []int64
+		if seeds != "" {
+			ns, err := parseInts(seeds)
+			if err != nil {
+				return nil, fmt.Errorf("bad -seeds: %v", err)
+			}
+			for _, n := range ns {
+				seedList = append(seedList, int64(n))
+			}
+		}
+		opts := ecndelay.ExperimentOptions{Scale: ecndelay.Quick}
+		if full {
+			opts.Scale = ecndelay.Full
+		}
+		return ecndelay.ExperimentSweepJobs(ids, opts, seedList)
+	default:
+		return nil, fmt.Errorf("unknown -kind %q (want pm or exp)", kind)
+	}
+}
+
+// pmDCQCNJob computes one Figure 3 grid cell.
+func pmDCQCNJob(n int, d float64) ecndelay.SweepJob {
+	return ecndelay.SweepJob{
+		ID:   fmt.Sprintf("pm/dcqcn/n%d/d%g", n, d),
+		Meta: map[string]string{"model": "dcqcn", "flows": fmt.Sprint(n), "delay": fmt.Sprint(d)},
+		Run: func(int64) (map[string]float64, error) {
+			p := ecndelay.DefaultDCQCNParams(n)
+			p.TauStar = d
+			loop, err := ecndelay.NewDCQCNLoop(p)
+			if err != nil {
+				return nil, err
+			}
+			res, err := ecndelay.PhaseMargin(loop)
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{
+				"pm_deg":          res.PhaseMarginDeg,
+				"crossover_rad_s": res.CrossoverRadPerSec,
+				"stable":          boolMetric(res.Stable),
+			}, nil
+		},
+	}
+}
+
+// pmPatchedJob computes one Figure 11 row.
+func pmPatchedJob(n int) ecndelay.SweepJob {
+	return ecndelay.SweepJob{
+		ID:   fmt.Sprintf("pm/patched/n%d", n),
+		Meta: map[string]string{"model": "patched", "flows": fmt.Sprint(n)},
+		Run: func(int64) (map[string]float64, error) {
+			cfg := ecndelay.DefaultPatchedTimelyFluidConfig(n)
+			loop, err := ecndelay.NewPatchedTimelyLoop(cfg)
+			if err != nil {
+				return nil, err
+			}
+			res, err := ecndelay.PhaseMargin(loop)
+			if err != nil {
+				return nil, err
+			}
+			sys, err := ecndelay.NewPatchedTimelyFluid(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{
+				"pm_deg":    res.PhaseMarginDeg,
+				"q_star_kb": sys.FixedPointQueue() / 1000,
+				"stable":    boolMetric(res.Stable),
+			}, nil
+		},
+	}
+}
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// parseInts accepts "lo:hi" (inclusive range) or a comma list.
+func parseInts(s string) ([]int, error) {
+	if lo, hi, ok := strings.Cut(s, ":"); ok {
+		a, err := strconv.Atoi(lo)
+		if err != nil {
+			return nil, err
+		}
+		b, err := strconv.Atoi(hi)
+		if err != nil {
+			return nil, err
+		}
+		if a > b {
+			return nil, fmt.Errorf("range %d:%d is backwards", a, b)
+		}
+		var out []int
+		for i := a; i <= b; i++ {
+			out = append(out, i)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseFloats accepts a comma list of floats.
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

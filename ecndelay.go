@@ -40,6 +40,8 @@
 package ecndelay
 
 import (
+	"fmt"
+
 	"ecndelay/internal/convergence"
 	"ecndelay/internal/dcqcn"
 	"ecndelay/internal/des"
@@ -50,6 +52,7 @@ import (
 	"ecndelay/internal/ode"
 	"ecndelay/internal/stability"
 	"ecndelay/internal/stats"
+	"ecndelay/internal/sweep"
 	"ecndelay/internal/timely"
 	"ecndelay/internal/workload"
 )
@@ -390,3 +393,89 @@ type ODESolver = ode.Solver
 
 // ODESystem is the interface such models implement.
 type ODESystem = ode.System
+
+// ---- Parallel experiment orchestration (internal/sweep) ----
+
+// Sweep engine types.
+type (
+	// SweepJob is one unit of work in a parameter sweep.
+	SweepJob = sweep.Job
+	// SweepConfig tunes one engine invocation (workers, timeout,
+	// retries, base seed, progress reporting).
+	SweepConfig = sweep.Config
+	// SweepResult is the deterministic outcome record of one job.
+	SweepResult = sweep.Result
+	// SweepSummary aggregates one sweep run.
+	SweepSummary = sweep.Summary
+	// SweepSink receives completed job results.
+	SweepSink = sweep.Sink
+	// SweepJSONLSink checkpoints results as JSONL with resume support.
+	SweepJSONLSink = sweep.JSONLSink
+	// SweepMemorySink collects results in memory.
+	SweepMemorySink = sweep.MemorySink
+)
+
+// RunSweep fans jobs out over a bounded worker pool with per-job fault
+// isolation; output is deterministic across worker counts.
+func RunSweep(cfg SweepConfig, jobs []SweepJob, sink SweepSink) (SweepSummary, error) {
+	return sweep.Run(cfg, jobs, sink)
+}
+
+// DeriveSweepSeed maps (baseSeed, job index) to the per-job seed the
+// engine hands each job, independent of scheduling order.
+func DeriveSweepSeed(base int64, index int) int64 { return sweep.DeriveSeed(base, index) }
+
+// OpenSweepJSONL opens (resume=true) or truncates a JSONL checkpoint.
+func OpenSweepJSONL(path string, resume bool) (*SweepJSONLSink, error) {
+	return sweep.OpenJSONL(path, resume)
+}
+
+// MarshalSweepResults renders results as JSONL sorted by job ID — the
+// canonical byte-comparable form of a sweep's output.
+func MarshalSweepResults(rs []SweepResult) ([]byte, error) { return sweep.MarshalResults(rs) }
+
+// ExperimentSweepJobs builds one sweep job per (experiment id, seed)
+// pair from the registry. With an empty seeds slice each experiment
+// becomes a single job using the engine-derived seed; otherwise one
+// job per listed seed, pinned to it.
+func ExperimentSweepJobs(ids []string, opts ExperimentOptions, seeds []int64) ([]SweepJob, error) {
+	var jobs []SweepJob
+	for _, id := range ids {
+		r, ok := exp.Get(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q", id)
+		}
+		runWith := func(o ExperimentOptions) (map[string]float64, error) {
+			rep, err := r.Run(o)
+			if err != nil {
+				return nil, err
+			}
+			return rep.Metrics, nil
+		}
+		if len(seeds) == 0 {
+			jobs = append(jobs, SweepJob{
+				ID:   r.ID,
+				Meta: map[string]string{"exp": r.ID, "figure": r.Figure},
+				Run: func(seed int64) (map[string]float64, error) {
+					o := opts
+					o.Seed = seed
+					return runWith(o)
+				},
+			})
+			continue
+		}
+		for _, s := range seeds {
+			s := s
+			jobs = append(jobs, SweepJob{
+				ID:   fmt.Sprintf("%s/seed%d", r.ID, s),
+				Meta: map[string]string{"exp": r.ID, "figure": r.Figure, "seed": fmt.Sprint(s)},
+				Run: func(int64) (map[string]float64, error) {
+					o := opts
+					o.Seed = s
+					return runWith(o)
+				},
+			})
+		}
+	}
+	return jobs, nil
+}

@@ -1,0 +1,101 @@
+package exp_test
+
+// Determinism is the contract the sweep engine relies on: a runner at a
+// fixed seed must produce identical metrics on every invocation, and a
+// parallel sweep over runners must therefore be byte-identical to a
+// serial one once rows are sorted by job ID.
+
+import (
+	"bytes"
+	"testing"
+
+	"ecndelay/internal/exp"
+	"ecndelay/internal/sweep"
+)
+
+// cheapRunners are the analytic Quick-scale experiments, fast enough to
+// run several times in the default test suite. The simulation-heavy
+// runners share the same deterministic substrate (seeded netsim RNG)
+// and are covered once each by TestQuickSimulationRunners.
+var cheapRunners = []string{"fig3", "fig11", "eq14", "thm2", "params", "fig21"}
+
+func TestQuickRunnersDeterministic(t *testing.T) {
+	for _, id := range cheapRunners {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, ok := exp.Get(id)
+			if !ok {
+				t.Fatalf("runner %q not registered", id)
+			}
+			o := exp.Options{Scale: exp.Quick, Seed: 11}
+			first, err := r.Run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := r.Run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// params and fig21 are pure tables with no headline metrics.
+			if len(first.Metrics) == 0 && id != "params" && id != "fig21" {
+				t.Fatalf("runner %q reports no metrics", id)
+			}
+			if len(first.Metrics) != len(second.Metrics) {
+				t.Fatalf("metric counts differ: %d vs %d", len(first.Metrics), len(second.Metrics))
+			}
+			for k, v := range first.Metrics {
+				if w, ok := second.Metrics[k]; !ok || w != v {
+					t.Errorf("metric %q differs across runs: %v vs %v", k, v, w)
+				}
+			}
+		})
+	}
+}
+
+// The same job grid through the sweep engine with 1 and N workers must
+// produce byte-identical sorted JSONL.
+func TestSweepOverRunnersDeterministic(t *testing.T) {
+	var jobs []sweep.Job
+	for _, id := range cheapRunners {
+		r, ok := exp.Get(id)
+		if !ok {
+			t.Fatalf("runner %q not registered", id)
+		}
+		for _, seed := range []int64{1, 2, 3} {
+			r, seed := r, seed
+			jobs = append(jobs, sweep.Job{
+				ID:   r.ID + "/" + string(rune('0'+seed)),
+				Meta: map[string]string{"exp": r.ID},
+				Run: func(int64) (map[string]float64, error) {
+					rep, err := r.Run(exp.Options{Scale: exp.Quick, Seed: seed})
+					if err != nil {
+						return nil, err
+					}
+					return rep.Metrics, nil
+				},
+			})
+		}
+	}
+	if len(jobs) < 16 {
+		t.Fatalf("grid has %d jobs, want >= 16", len(jobs))
+	}
+	run := func(workers int) []byte {
+		sink := &sweep.MemorySink{}
+		sum, err := sweep.Run(sweep.Config{Workers: workers, BaseSeed: 5}, jobs, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Failed != 0 || sum.Executed != len(jobs) {
+			t.Fatalf("workers=%d summary %+v", workers, sum)
+		}
+		b, err := sweep.MarshalResults(sink.Results())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := run(1)
+	if parallel := run(4); !bytes.Equal(serial, parallel) {
+		t.Errorf("parallel sweep output differs from serial:\n%s\nvs\n%s", parallel, serial)
+	}
+}

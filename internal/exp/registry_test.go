@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// Registration is append-only at init time; these tests pin its
+// invariants: unique IDs, Get round-trips every runner, and duplicate
+// or incomplete registrations panic before touching the registry.
+func TestRegistryUniqueAndRoundTrips(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Runners() {
+		if seen[r.ID] {
+			t.Errorf("duplicate runner id %q", r.ID)
+		}
+		seen[r.ID] = true
+		got, ok := Get(r.ID)
+		if !ok {
+			t.Errorf("Get(%q) not found", r.ID)
+			continue
+		}
+		if got.ID != r.ID || got.Title != r.Title || got.Figure != r.Figure {
+			t.Errorf("Get(%q) returned %q/%q, want %q/%q", r.ID, got.Title, got.Figure, r.Title, r.Figure)
+		}
+		if got.Run == nil {
+			t.Errorf("Get(%q) has nil Run", r.ID)
+		}
+	}
+}
+
+func TestRegisterPanicsOnDuplicate(t *testing.T) {
+	before := len(Runners())
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("registering a duplicate id did not panic")
+		}
+		if !strings.Contains(r.(string), "duplicate runner id") {
+			t.Fatalf("unexpected panic %v", r)
+		}
+		if len(Runners()) != before {
+			t.Fatal("failed registration mutated the registry")
+		}
+	}()
+	register(Runner{ID: "fig2", Title: "dup", Figure: "x",
+		Run: func(Options) (*Report, error) { return &Report{}, nil }})
+}
+
+func TestRegisterPanicsOnIncomplete(t *testing.T) {
+	for _, r := range []Runner{
+		{ID: "", Run: func(Options) (*Report, error) { return nil, nil }},
+		{ID: "newid"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("registering %+v did not panic", r)
+				}
+			}()
+			register(r)
+		}()
+	}
+}
+
+// Runners must return a copy: callers mutating the slice cannot corrupt
+// the registry.
+func TestRunnersReturnsCopy(t *testing.T) {
+	rs := Runners()
+	if len(rs) == 0 {
+		t.Fatal("empty registry")
+	}
+	rs[0].ID = "clobbered"
+	if _, ok := Get("clobbered"); ok {
+		t.Fatal("mutating Runners() result leaked into the registry")
+	}
+}

@@ -123,7 +123,20 @@ type Runner struct {
 
 var registry []Runner
 
-func register(r Runner) { registry = append(registry, r) }
+// register adds a runner at init time. Duplicate or incomplete
+// registrations are programming errors, caught immediately rather than
+// shadowing an existing experiment.
+func register(r Runner) {
+	if r.ID == "" || r.Run == nil {
+		panic(fmt.Sprintf("exp: runner %q registered without id or Run", r.ID))
+	}
+	for _, ex := range registry {
+		if ex.ID == r.ID {
+			panic(fmt.Sprintf("exp: duplicate runner id %q", r.ID))
+		}
+	}
+	registry = append(registry, r)
+}
 
 // Runners lists every registered experiment in registration order.
 func Runners() []Runner { return append([]Runner(nil), registry...) }

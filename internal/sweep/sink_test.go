@@ -1,0 +1,63 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// unmarshalRow decodes one JSONL row strictly.
+func unmarshalRow(line []byte, r *Result) error { return json.Unmarshal(line, r) }
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing progress.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestMarshalResultsSortsByJobID(t *testing.T) {
+	rs := []Result{
+		{JobID: "b", Index: 1, Attempts: 1},
+		{JobID: "a", Index: 0, Attempts: 1, Metrics: map[string]float64{"z": 1, "a": 2}},
+	}
+	b, err := MarshalResults(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], `"job":"a"`) {
+		t.Fatalf("rows not sorted by job ID:\n%s", b)
+	}
+	// Metric keys are emitted sorted, so encoding is deterministic.
+	if i, j := strings.Index(lines[0], `"a":2`), strings.Index(lines[0], `"z":1`); i < 0 || j < 0 || i > j {
+		t.Errorf("metric keys not sorted: %s", lines[0])
+	}
+}
+
+func TestMemorySinkOrdersByIndex(t *testing.T) {
+	s := &MemorySink{}
+	for _, i := range []int{3, 0, 2, 1} {
+		if err := s.Write(Result{JobID: "x", Index: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for want, r := range s.Results() {
+		if r.Index != want {
+			t.Fatalf("results not sorted by index: %+v", s.Results())
+		}
+	}
+}
