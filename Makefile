@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt test race bench
+.PHONY: ci build vet fmt test race bench bench-smoke
 
-ci: fmt vet build test race
+ci: fmt vet build test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -20,10 +20,18 @@ fmt:
 test:
 	$(GO) test ./...
 
-# Race gate for the concurrent code paths: the sweep engine and the
-# experiment registry it drives.
+# Race gate for the concurrent code paths: the sweep engine, the
+# experiment registry it drives, and the pooled event/packet engines
+# underneath them.
 race:
-	$(GO) test -race ./internal/sweep ./internal/exp
+	$(GO) test -race ./internal/des ./internal/netsim ./internal/sweep ./internal/exp
 
 bench:
 	$(GO) test -bench=Sweep -run='^$$' .
+
+# Alloc-regression gate: run the hot-path microbenchmarks once and the
+# AllocsPerRun guards that pin the steady-state paths at 0 allocs/op.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='HandlerEvents|ClosureEvents|PortChain' \
+		-benchmem -benchtime=1x ./internal/des ./internal/netsim
+	$(GO) test -run='AllocFree' ./internal/des ./internal/netsim

@@ -20,6 +20,7 @@ func benchRunner(b *testing.B, id string) {
 	if !ok {
 		b.Fatalf("experiment %q not registered", id)
 	}
+	b.ReportAllocs()
 	var rep *ecndelay.Report
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -140,6 +141,7 @@ func BenchmarkAblationMarkingPoint(b *testing.B) {
 			name = "ingress"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var cv float64
 			for i := 0; i < b.N; i++ {
 				nw := ecndelay.NewNetwork(7)
@@ -180,6 +182,7 @@ func BenchmarkAblationPacing(b *testing.B) {
 		seg   int
 	}{{"per-packet", false, 16000}, {"burst16KB", true, 16000}, {"burst64KB", true, 64000}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var util float64
 			for i := 0; i < b.N; i++ {
 				p := ecndelay.DefaultTimelyProtoParams()
@@ -230,6 +233,7 @@ func BenchmarkAblationWeightFunction(b *testing.B) {
 		return ecndelay.Summarize(vals).CV()
 	}
 	b.Run("linear-weight", func(b *testing.B) {
+		b.ReportAllocs()
 		var cv float64
 		for i := 0; i < b.N; i++ {
 			cfg := ecndelay.DefaultPatchedTimelyFluidConfig(2)
@@ -253,6 +257,7 @@ func BenchmarkAblationTuning(b *testing.B) {
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var pm float64
 			for i := 0; i < b.N; i++ {
 				p := ecndelay.DefaultDCQCNParams(10)
@@ -289,6 +294,7 @@ func sweepGridJobs(b *testing.B) []ecndelay.SweepJob {
 }
 
 func benchSweep(b *testing.B, workers int) {
+	b.ReportAllocs()
 	jobs := sweepGridJobs(b)
 	for i := 0; i < b.N; i++ {
 		sum, err := ecndelay.RunSweep(ecndelay.SweepConfig{Workers: workers, BaseSeed: 1}, jobs, nil)

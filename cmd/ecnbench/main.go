@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"ecndelay"
+	"ecndelay/internal/prof"
 )
 
 func main() {
@@ -34,15 +35,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ecnbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		expFlag = fs.String("exp", "all", "experiment id, comma list, or 'all'")
-		full    = fs.Bool("full", false, "run paper-scale experiments instead of quick versions")
-		seed    = fs.Int64("seed", 1, "simulation seed")
-		list    = fs.Bool("list", false, "list available experiments and exit")
-		workers = fs.Int("workers", 1, "experiments to run concurrently (0: GOMAXPROCS)")
+		expFlag    = fs.String("exp", "all", "experiment id, comma list, or 'all'")
+		full       = fs.Bool("full", false, "run paper-scale experiments instead of quick versions")
+		seed       = fs.Int64("seed", 1, "simulation seed")
+		list       = fs.Bool("list", false, "list available experiments and exit")
+		workers    = fs.Int("workers", 1, "experiments to run concurrently (0: GOMAXPROCS)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "ecnbench: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stderr, "ecnbench: %v\n", err)
+		}
+	}()
 
 	if *list {
 		fmt.Fprintf(stdout, "%-8s %-28s %s\n", "ID", "REPRODUCES", "TITLE")

@@ -17,12 +17,15 @@ import (
 	"strings"
 
 	"ecndelay"
+	"ecndelay/internal/prof"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("packetsim: ")
 	var (
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		proto      = flag.String("proto", "dcqcn", "dcqcn | timely | patched")
 		n          = flag.Int("n", 2, "number of senders (one long flow each)")
 		bw         = flag.Float64("bw", 10e9, "link bandwidth, bits/s")
@@ -37,6 +40,11 @@ func main() {
 		seed       = flag.Int64("seed", 1, "simulation seed")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	bwBytes := *bw / 8
 	nw := ecndelay.NewNetwork(*seed)
@@ -131,4 +139,7 @@ func main() {
 		fmt.Fprintln(out)
 	})
 	nw.Sim.RunUntil(ecndelay.Time(ecndelay.DurationFromSeconds(*horizon)))
+	if err := stopProf(); err != nil {
+		log.Fatal(err)
+	}
 }

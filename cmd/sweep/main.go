@@ -34,6 +34,7 @@ import (
 	"strings"
 
 	"ecndelay"
+	"ecndelay/internal/prof"
 )
 
 func main() {
@@ -44,24 +45,36 @@ func run(args []string, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		kind    = fs.String("kind", "pm", "grid kind: pm | exp")
-		model   = fs.String("model", "dcqcn", "pm: comma list of dcqcn | patched")
-		flows   = fs.String("flows", "1:64", "pm: N range lo:hi or comma list")
-		delays  = fs.String("delays", "1e-6,25e-6,50e-6,85e-6,100e-6", "pm: DCQCN τ* values, seconds")
-		expFlag = fs.String("exp", "all", "exp: experiment id, comma list, or 'all'")
-		seeds   = fs.String("seeds", "", "exp: seed range lo:hi or comma list (empty: one derived seed per job)")
-		full    = fs.Bool("full", false, "exp: paper-scale instead of quick")
-		out     = fs.String("out", "sweep.jsonl", "JSONL checkpoint file")
-		resume  = fs.Bool("resume", false, "skip jobs already completed in -out")
-		workers = fs.Int("workers", 0, "parallel workers (0: GOMAXPROCS)")
-		timeout = fs.Duration("timeout", 0, "per-job timeout (0: none)")
-		retries = fs.Int("retries", 0, "extra attempts per failed job")
-		seed    = fs.Int64("seed", 1, "base seed for per-job seed derivation")
-		quiet   = fs.Bool("quiet", false, "suppress progress reporting")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		kind       = fs.String("kind", "pm", "grid kind: pm | exp")
+		model      = fs.String("model", "dcqcn", "pm: comma list of dcqcn | patched")
+		flows      = fs.String("flows", "1:64", "pm: N range lo:hi or comma list")
+		delays     = fs.String("delays", "1e-6,25e-6,50e-6,85e-6,100e-6", "pm: DCQCN τ* values, seconds")
+		expFlag    = fs.String("exp", "all", "exp: experiment id, comma list, or 'all'")
+		seeds      = fs.String("seeds", "", "exp: seed range lo:hi or comma list (empty: one derived seed per job)")
+		full       = fs.Bool("full", false, "exp: paper-scale instead of quick")
+		out        = fs.String("out", "sweep.jsonl", "JSONL checkpoint file")
+		resume     = fs.Bool("resume", false, "skip jobs already completed in -out")
+		workers    = fs.Int("workers", 0, "parallel workers (0: GOMAXPROCS)")
+		timeout    = fs.Duration("timeout", 0, "per-job timeout (0: none)")
+		retries    = fs.Int("retries", 0, "extra attempts per failed job")
+		seed       = fs.Int64("seed", 1, "base seed for per-job seed derivation")
+		quiet      = fs.Bool("quiet", false, "suppress progress reporting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
+		}
+	}()
 
 	jobs, err := buildJobs(*kind, *model, *flows, *delays, *expFlag, *seeds, *full)
 	if err != nil {

@@ -130,10 +130,12 @@ func (e *Endpoint) handleData(pkt *netsim.Packet) {
 		if !st.sent || now.Sub(st.lastCNP) >= e.p.CNPInterval {
 			st.sent = true
 			st.lastCNP = now
-			e.host.Send(&netsim.Packet{
-				Flow: pkt.Flow, Dst: pkt.Src,
-				Size: netsim.CtrlSize, Kind: netsim.CNP,
-			})
+			cnp := e.host.Net().NewPacket()
+			cnp.Flow = pkt.Flow
+			cnp.Dst = pkt.Src
+			cnp.Size = netsim.CtrlSize
+			cnp.Kind = netsim.CNP
+			e.host.Send(cnp)
 		}
 	}
 	if pkt.Last && e.OnComplete != nil {
@@ -158,12 +160,40 @@ type Sender struct {
 	done    bool
 	started bool
 
-	alphaEv *des.Event
-	timerEv *des.Event
-	sendEv  *des.Event
+	alphaEv des.EventRef
+	timerEv des.EventRef
+	sendEv  des.EventRef
 
 	// RateSeries, if non-nil, records (t, rc) on every rate change.
 	RateHook func(t des.Time, rate float64)
+}
+
+// Handler arguments: the sender is its own des.Handler, dispatching its
+// three recurring duties on a small-int argument (boxes without allocating)
+// so steady-state scheduling is allocation-free.
+const (
+	evStart = iota // flow start at its configured time
+	evSend         // paced transmission of the next data packet
+	evAlpha        // Eq. 2 α decay timer (τ')
+	evRate         // rate-increase timer (T)
+)
+
+// OnEvent implements des.Handler.
+func (s *Sender) OnEvent(arg any) {
+	switch arg.(int) {
+	case evStart:
+		s.start()
+	case evSend:
+		s.sendNext()
+	case evAlpha:
+		// Eq. 2: no feedback for τ' → α decays.
+		s.alpha *= 1 - s.e.p.G
+		s.armAlphaTimer()
+	case evRate:
+		s.tStage++
+		s.increase()
+		s.armRateTimer()
+	}
 }
 
 // NewFlow registers a sending flow of size bytes (size < 0: run forever)
@@ -175,7 +205,7 @@ func (e *Endpoint) NewFlow(id int, dst int, size int64, start des.Time) (*Sender
 	}
 	s := &Sender{e: e, id: id, dst: dst, size: size}
 	e.flows[id] = s
-	e.host.Net().Sim.At(start, s.start)
+	e.host.Net().Sim.AtHandler(start, s, evStart)
 	return s, nil
 }
 
@@ -230,10 +260,15 @@ func (s *Sender) sendNext() {
 			last = true
 		}
 	}
-	s.e.host.Send(&netsim.Packet{
-		Flow: s.id, Dst: s.dst, Size: int(size),
-		Kind: netsim.Data, ECT: true, Seq: s.sent, Last: last,
-	})
+	pkt := s.e.host.Net().NewPacket()
+	pkt.Flow = s.id
+	pkt.Dst = s.dst
+	pkt.Size = int(size)
+	pkt.Kind = netsim.Data
+	pkt.ECT = true
+	pkt.Seq = s.sent
+	pkt.Last = last
+	s.e.host.Send(pkt)
 	s.sent += size
 	s.onBytesSent(size)
 	if last {
@@ -241,17 +276,13 @@ func (s *Sender) sendNext() {
 		return
 	}
 	gap := des.DurationFromSeconds(float64(size) / s.rc)
-	s.sendEv = s.e.host.Net().Sim.Schedule(gap, s.sendNext)
+	s.sendEv = s.e.host.Net().Sim.ScheduleHandler(gap, s, evSend)
 }
 
 func (s *Sender) finish() {
 	s.done = true
-	if s.alphaEv != nil {
-		s.alphaEv.Cancel()
-	}
-	if s.timerEv != nil {
-		s.timerEv.Cancel()
-	}
+	s.alphaEv.Cancel()
+	s.timerEv.Cancel()
 }
 
 // onBytesSent advances the rate-increase byte counter (stage events every
@@ -266,25 +297,13 @@ func (s *Sender) onBytesSent(n int64) {
 }
 
 func (s *Sender) armAlphaTimer() {
-	if s.alphaEv != nil {
-		s.alphaEv.Cancel()
-	}
-	s.alphaEv = s.e.host.Net().Sim.Schedule(s.e.p.AlphaTimer, func() {
-		// Eq. 2: no feedback for τ' → α decays.
-		s.alpha *= 1 - s.e.p.G
-		s.armAlphaTimer()
-	})
+	s.alphaEv.Cancel()
+	s.alphaEv = s.e.host.Net().Sim.ScheduleHandler(s.e.p.AlphaTimer, s, evAlpha)
 }
 
 func (s *Sender) armRateTimer() {
-	if s.timerEv != nil {
-		s.timerEv.Cancel()
-	}
-	s.timerEv = s.e.host.Net().Sim.Schedule(s.e.p.RateTimer, func() {
-		s.tStage++
-		s.increase()
-		s.armRateTimer()
-	})
+	s.timerEv.Cancel()
+	s.timerEv = s.e.host.Net().Sim.ScheduleHandler(s.e.p.RateTimer, s, evRate)
 }
 
 // onCNP is the Eq. 1 multiplicative decrease plus state reset.

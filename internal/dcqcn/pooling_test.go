@@ -1,0 +1,78 @@
+package dcqcn_test
+
+import (
+	"testing"
+
+	"ecndelay/internal/dcqcn"
+	"ecndelay/internal/des"
+	"ecndelay/internal/netsim"
+)
+
+// The packet pool and the pooled event path must be invisible to the
+// simulation: a same-seed DCQCN run (data, CNPs, α/rate timers, RED
+// marking, PFC) with pooling disabled is the reference, and the pooled run
+// must reproduce its rate trajectory and queue behaviour exactly.
+func TestDCQCNPoolingDeterminism(t *testing.T) {
+	type trace struct {
+		rates     []float64
+		processed uint64
+		end       des.Time
+		queuePeak int
+	}
+	run := func(pooling bool) trace {
+		nw := netsim.New(5)
+		nw.SetPooling(pooling)
+		star := netsim.NewStar(nw, netsim.StarConfig{
+			Senders: 2,
+			Link:    netsim.LinkConfig{Bandwidth: 1.25e9, PropDelay: des.Microsecond},
+			Mark: func() netsim.Marker {
+				return &netsim.REDMarker{Kmin: 5000, Kmax: 200000, Pmax: 0.01, Rng: nw.Rng}
+			},
+			PFC: netsim.PFCConfig{PauseBytes: 400000, ResumeBytes: 200000},
+		})
+		if _, err := dcqcn.NewEndpoint(star.Receiver, dcqcn.DefaultParams()); err != nil {
+			t.Fatal(err)
+		}
+		var tr trace
+		for i, h := range star.Senders {
+			ep, err := dcqcn.NewEndpoint(h, dcqcn.DefaultParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := ep.NewFlow(i, star.Receiver.ID(), -1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.RateHook = func(_ des.Time, rate float64) {
+				tr.rates = append(tr.rates, rate)
+			}
+		}
+		peak := 0
+		nw.Sim.Every(0, 50*des.Microsecond, func() {
+			if b := star.Bottleneck.Queue().Bytes(); b > peak {
+				peak = b
+			}
+		})
+		nw.Sim.RunUntil(des.Time(20 * des.Millisecond))
+		tr.processed = nw.Sim.Processed()
+		tr.end = nw.Sim.Now()
+		tr.queuePeak = peak
+		return tr
+	}
+	pooled, plain := run(true), run(false)
+	if pooled.processed != plain.processed || pooled.end != plain.end ||
+		pooled.queuePeak != plain.queuePeak {
+		t.Errorf("pooled (proc=%d end=%v peak=%d) != unpooled (proc=%d end=%v peak=%d)",
+			pooled.processed, pooled.end, pooled.queuePeak,
+			plain.processed, plain.end, plain.queuePeak)
+	}
+	if len(pooled.rates) != len(plain.rates) {
+		t.Fatalf("rate trace lengths differ: %d vs %d", len(pooled.rates), len(plain.rates))
+	}
+	for i := range pooled.rates {
+		if pooled.rates[i] != plain.rates[i] {
+			t.Fatalf("rate trace diverges at update %d: %v vs %v",
+				i, pooled.rates[i], plain.rates[i])
+		}
+	}
+}

@@ -4,6 +4,14 @@
 // a virtual clock with nanosecond resolution and a priority queue of pending
 // events. Events scheduled for the same instant fire in the order they were
 // scheduled, which keeps runs bit-for-bit reproducible.
+//
+// Two scheduling APIs exist. The closure API (Schedule, At) allocates a fresh
+// Event per call and returns a *Event handle that stays valid forever. The
+// handler API (ScheduleHandler, AtHandler) is the hot path: it dispatches to a
+// long-lived Handler with an opaque argument, recycles Event structs through a
+// free list, and allocates nothing in steady state. Handler-path events are
+// addressed through generation-checked EventRef values, so a stale ref held
+// after the event fired (or was cancelled) is a safe no-op.
 package des
 
 import (
@@ -50,24 +58,77 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 func (t Time) String() string     { return fmt.Sprintf("%.6fms", float64(t)/1e6) }
 func (d Duration) String() string { return fmt.Sprintf("%.3fus", float64(d)/1e3) }
 
-// Event is a handle to a scheduled callback. It can be cancelled before it
-// fires; cancelling a fired or already-cancelled event is a no-op.
+// Handler is the allocation-free event callback: a long-lived object (port,
+// sender, ticker) that receives the opaque argument it was scheduled with.
+// Handlers with several periodic duties conventionally dispatch on a small
+// integer argument; values 0-255 box without allocating.
+type Handler interface {
+	OnEvent(arg any)
+}
+
+// Event is a handle to a scheduled callback. Closure-API events can be
+// cancelled before they fire; cancelling a fired or already-cancelled event
+// is a no-op. Cancel removes the event from the queue immediately, so
+// cancelled events cost nothing at drain time.
 type Event struct {
-	time      Time
-	seq       uint64
-	fn        func()
-	index     int // heap index, -1 once removed
+	time Time
+	seq  uint64
+	fn   func()  // closure path
+	h    Handler // handler path
+	arg  any
+
+	sim       *Simulator
+	index     int    // heap index, -1 once removed
+	gen       uint32 // bumped when a pooled event is recycled
+	pooled    bool   // owned by the simulator free list
 	cancelled bool
 }
 
 // Time reports when the event is (or was) scheduled to fire.
 func (e *Event) Time() Time { return e.time }
 
-// Cancel prevents the event from firing. It is safe to call at any point.
-func (e *Event) Cancel() { e.cancelled = true }
+// Cancel prevents the event from firing. It is safe to call at any point,
+// including twice or after the event fired. A still-queued event is removed
+// from the heap eagerly via its stored index.
+func (e *Event) Cancel() {
+	if e.cancelled {
+		return
+	}
+	e.cancelled = true
+	if e.index >= 0 && e.sim != nil {
+		heap.Remove(&e.sim.queue, e.index)
+	}
+}
 
 // Cancelled reports whether Cancel has been called.
 func (e *Event) Cancelled() bool { return e.cancelled }
+
+// EventRef is a generation-checked handle to a handler-path event. The zero
+// value refers to nothing; Cancel and Pending on it are no-ops. A ref that
+// outlives its event (fired, cancelled, or recycled) goes stale and is
+// likewise inert, so callers may keep refs around without bookkeeping.
+type EventRef struct {
+	e   *Event
+	gen uint32
+}
+
+// Pending reports whether the referenced event is still queued.
+func (r EventRef) Pending() bool {
+	return r.e != nil && r.e.gen == r.gen && r.e.index >= 0
+}
+
+// Cancel removes the referenced event from the queue and recycles it. Stale
+// or zero refs are no-ops, so double-Cancel and cancel-after-fire are safe.
+func (r EventRef) Cancel() {
+	e := r.e
+	if e == nil || e.gen != r.gen {
+		return
+	}
+	if e.index >= 0 {
+		heap.Remove(&e.sim.queue, e.index)
+		e.sim.release(e)
+	}
+}
 
 type eventHeap []*Event
 
@@ -103,6 +164,7 @@ func (h *eventHeap) Pop() any {
 type Simulator struct {
 	now       Time
 	queue     eventHeap
+	free      []*Event // recycled handler-path events
 	seq       uint64
 	processed uint64
 	running   bool
@@ -118,9 +180,32 @@ func (s *Simulator) Now() Time { return s.now }
 // Processed reports how many events have fired so far.
 func (s *Simulator) Processed() uint64 { return s.processed }
 
-// Pending reports how many events are queued (including cancelled ones that
-// have not been drained yet).
+// Pending reports how many events are queued. Cancelled events are removed
+// eagerly and never counted.
 func (s *Simulator) Pending() int { return len(s.queue) }
+
+// FreeEvents reports the size of the event free list (tests, monitoring).
+func (s *Simulator) FreeEvents() int { return len(s.free) }
+
+// alloc takes an Event from the free list, or mints one on a cold start.
+func (s *Simulator) alloc() *Event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &Event{sim: s, pooled: true}
+}
+
+// release recycles a pooled event, invalidating every outstanding EventRef
+// to this incarnation.
+func (s *Simulator) release(e *Event) {
+	e.gen++
+	e.fn, e.h, e.arg = nil, nil, nil
+	e.cancelled = false
+	s.free = append(s.free, e)
+}
 
 // Schedule runs fn after delay d. A negative delay is an error in the caller;
 // it panics to surface the bug immediately.
@@ -136,10 +221,34 @@ func (s *Simulator) At(t Time, fn func()) *Event {
 	if t < s.now {
 		panic(fmt.Sprintf("des: schedule in the past: %v < %v", t, s.now))
 	}
-	e := &Event{time: t, seq: s.seq, fn: fn}
+	e := &Event{time: t, seq: s.seq, fn: fn, sim: s}
 	s.seq++
 	heap.Push(&s.queue, e)
 	return e
+}
+
+// ScheduleHandler runs h.OnEvent(arg) after delay d through the pooled,
+// allocation-free path. Negative delays panic, as with Schedule.
+func (s *Simulator) ScheduleHandler(d Duration, h Handler, arg any) EventRef {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %v at %v", d, s.now))
+	}
+	return s.AtHandler(s.now.Add(d), h, arg)
+}
+
+// AtHandler runs h.OnEvent(arg) at absolute time t through the pooled path.
+func (s *Simulator) AtHandler(t Time, h Handler, arg any) EventRef {
+	if t < s.now {
+		panic(fmt.Sprintf("des: schedule in the past: %v < %v", t, s.now))
+	}
+	if h == nil {
+		panic("des: nil Handler")
+	}
+	e := s.alloc()
+	e.time, e.seq, e.h, e.arg = t, s.seq, h, arg
+	s.seq++
+	heap.Push(&s.queue, e)
+	return EventRef{e: e, gen: e.gen}
 }
 
 // Stop makes Run and RunUntil return after the current event completes.
@@ -169,10 +278,26 @@ func (s *Simulator) run(end Time, advance bool) uint64 {
 		}
 		heap.Pop(&s.queue)
 		if e.cancelled {
+			// Cancel removes events eagerly, so this only catches an event
+			// cancelled through a stale *Event handle mid-pop; skip it.
+			if e.pooled {
+				s.release(e)
+			}
 			continue
 		}
 		s.now = e.time
-		e.fn()
+		if e.h != nil {
+			// Recycle before dispatch: the handler may reschedule and get
+			// this struct back, and a ref to the firing incarnation held by
+			// user code is already stale (cancel-inside-fn is a no-op).
+			h, arg := e.h, e.arg
+			if e.pooled {
+				s.release(e)
+			}
+			h.OnEvent(arg)
+		} else {
+			e.fn()
+		}
 		s.processed++
 		fired++
 	}
@@ -188,13 +313,14 @@ func (s *Simulator) run(end Time, advance bool) uint64 {
 
 // Every schedules fn to run at t0 and then every period thereafter until the
 // returned Ticker is stopped. fn runs before the next firing is scheduled, so
-// it may safely stop the ticker.
+// it may safely stop the ticker. Ticker firings ride the pooled event path,
+// so a steady-state ticker allocates nothing per tick.
 func (s *Simulator) Every(t0 Time, period Duration, fn func()) *Ticker {
 	if period <= 0 {
 		panic("des: non-positive ticker period")
 	}
 	tk := &Ticker{sim: s, period: period, fn: fn}
-	tk.ev = s.At(t0, tk.fire)
+	tk.ev = s.AtHandler(t0, tk, nil)
 	return tk
 }
 
@@ -203,11 +329,12 @@ type Ticker struct {
 	sim     *Simulator
 	period  Duration
 	fn      func()
-	ev      *Event
+	ev      EventRef
 	stopped bool
 }
 
-func (tk *Ticker) fire() {
+// OnEvent implements Handler.
+func (tk *Ticker) OnEvent(any) {
 	if tk.stopped {
 		return
 	}
@@ -215,13 +342,11 @@ func (tk *Ticker) fire() {
 	if tk.stopped {
 		return
 	}
-	tk.ev = tk.sim.Schedule(tk.period, tk.fire)
+	tk.ev = tk.sim.ScheduleHandler(tk.period, tk, nil)
 }
 
 // Stop cancels all future firings.
 func (tk *Ticker) Stop() {
 	tk.stopped = true
-	if tk.ev != nil {
-		tk.ev.Cancel()
-	}
+	tk.ev.Cancel()
 }

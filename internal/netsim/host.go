@@ -51,19 +51,24 @@ func (h *Host) Port() *Port { return h.port }
 func (h *Host) Now() des.Time { return h.net.Sim.Now() }
 
 // Receive implements Node: PFC is handled by the NIC itself; everything
-// else goes to the transport.
+// else goes to the transport. The host is the packet's final consumer, so
+// once the transport returns the packet is recycled — transports may read
+// but must not retain it past the Handle call (see the Packet contract).
 func (h *Host) Receive(pkt *Packet) {
 	switch pkt.Kind {
 	case Pause:
 		h.port.pause()
+		h.net.FreePacket(pkt)
 		return
 	case Resume:
 		h.port.unpause()
+		h.net.FreePacket(pkt)
 		return
 	}
 	if h.Transport != nil {
 		h.Transport.Handle(h, pkt)
 	}
+	h.net.FreePacket(pkt)
 }
 
 // Send stamps and transmits a packet through the NIC.

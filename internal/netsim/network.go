@@ -28,13 +28,17 @@ type Network struct {
 	Rng   *rand.Rand
 	nodes []Node
 	pktID uint64
+
+	pktFree []*Packet
+	pooling bool
 }
 
 // New creates an empty network with a deterministic RNG.
 func New(seed int64) *Network {
 	return &Network{
-		Sim: des.New(),
-		Rng: rand.New(rand.NewSource(seed)),
+		Sim:     des.New(),
+		Rng:     rand.New(rand.NewSource(seed)),
+		pooling: poolingDefault,
 	}
 }
 
@@ -62,10 +66,18 @@ func (nw *Network) NextPacketID() uint64 {
 // toward a fixed peer and models serialisation (Bandwidth) plus propagation
 // (PropDelay). PFC pauses stop new transmissions; the in-flight packet
 // always completes.
+//
+// A port is its own des.Handler: the transmit state machine reschedules
+// itself through the pooled event path, so per-packet transmission and
+// delivery capture no closures and allocate nothing in steady state.
 type Port struct {
 	net   *Network
 	owner Node
 	peer  Node
+
+	// ownerSwitch caches the owner's *Switch identity so the per-packet
+	// departure hook avoids a type assertion; nil for host NICs.
+	ownerSwitch *Switch
 
 	Bandwidth float64 // bytes/second
 	PropDelay des.Duration
@@ -79,6 +91,7 @@ type Port struct {
 	CtrlJitterMax des.Duration
 
 	queue  *Queue
+	txPkt  *Packet // in-flight packet being serialised (busy == true)
 	busy   bool
 	paused bool
 
@@ -102,6 +115,9 @@ func (nw *Network) NewPort(owner, peer Node, bandwidth float64, prop des.Duratio
 		net: nw, owner: owner, peer: peer,
 		Bandwidth: bandwidth, PropDelay: prop,
 		queue: NewQueue(m),
+	}
+	if sw, ok := owner.(*Switch); ok {
+		p.ownerSwitch = sw
 	}
 	if sm, ok := m.(startableMarker); ok {
 		sm.Start(nw.Sim, p.queue)
@@ -128,13 +144,23 @@ func (p *Port) Send(pkt *Packet) {
 // real NICs emit from a dedicated high-priority path): the packet arrives
 // after just the propagation delay.
 func (p *Port) SendDirect(pkt *Packet) {
-	peer := p.peer
-	p.net.Sim.Schedule(p.PropDelay, func() { peer.Receive(pkt) })
+	p.net.Sim.ScheduleHandler(p.PropDelay, p, pkt)
 }
 
 // pause and unpause implement PFC flow control on this port.
 func (p *Port) pause()   { p.paused = true }
 func (p *Port) unpause() { p.paused = false; p.tryTx() }
+
+// OnEvent implements des.Handler: a nil argument is the serialisation-done
+// tick for the in-flight packet; a *Packet argument is a delivery landing at
+// the peer after propagation.
+func (p *Port) OnEvent(arg any) {
+	if arg == nil {
+		p.txDone()
+		return
+	}
+	p.peer.Receive(arg.(*Packet))
+}
 
 func (p *Port) tryTx() {
 	if p.busy || p.paused || p.queue.Len() == 0 {
@@ -142,22 +168,28 @@ func (p *Port) tryTx() {
 	}
 	pkt := p.queue.Pop()
 	p.busy = true
+	p.txPkt = pkt
 	txTime := des.DurationFromSeconds(float64(pkt.Size) / p.Bandwidth)
 	p.TxBytes += int64(pkt.Size)
-	p.net.Sim.Schedule(txTime, func() {
-		p.busy = false
-		if sw, ok := p.owner.(*Switch); ok {
-			sw.departed(pkt)
+	p.net.Sim.ScheduleHandler(txTime, p, nil)
+}
+
+// txDone finishes serialising the in-flight packet: release PFC accounting,
+// launch the propagation-delay delivery, and start on the next queued packet.
+func (p *Port) txDone() {
+	pkt := p.txPkt
+	p.txPkt = nil
+	p.busy = false
+	if p.ownerSwitch != nil {
+		p.ownerSwitch.departed(pkt)
+	}
+	delay := p.PropDelay
+	if pkt.Kind.Control() && pkt.Kind != Pause && pkt.Kind != Resume {
+		delay += p.CtrlExtraDelay
+		if p.CtrlJitterMax > 0 {
+			delay += des.Duration(p.net.Rng.Int63n(int64(p.CtrlJitterMax)))
 		}
-		delay := p.PropDelay
-		if pkt.Kind.Control() && pkt.Kind != Pause && pkt.Kind != Resume {
-			delay += p.CtrlExtraDelay
-			if p.CtrlJitterMax > 0 {
-				delay += des.Duration(p.net.Rng.Int63n(int64(p.CtrlJitterMax)))
-			}
-		}
-		peer := p.peer
-		p.net.Sim.Schedule(delay, func() { peer.Receive(pkt) })
-		p.tryTx()
-	})
+	}
+	p.net.Sim.ScheduleHandler(delay, p, pkt)
+	p.tryTx()
 }

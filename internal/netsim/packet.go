@@ -43,9 +43,11 @@ const (
 	CtrlSize = 64
 )
 
-// Packet is the unit the simulator moves. Packets are heap-allocated and
-// owned by the network once sent; receivers may read but not retain them
-// past the Receive call unless they remove them from circulation.
+// Packet is the unit the simulator moves. Packets come from the network's
+// free list (Network.NewPacket) and are owned by the network once sent; the
+// delivery endpoint recycles them, so receivers and transports may read but
+// must not retain them past the Receive/Handle call. Every field of a
+// freshly allocated packet is zero, whether pooled or not.
 type Packet struct {
 	ID   uint64
 	Flow int // flow identifier, -1 for control not tied to a flow

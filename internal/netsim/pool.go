@@ -1,0 +1,44 @@
+package netsim
+
+// Packet pooling: the hot path allocates packets from a per-network free
+// list (NewPacket) and the delivery endpoint recycles them (FreePacket), so
+// a steady-state run moves millions of packets through a handful of structs.
+// The pool is a plain LIFO slice — the simulator is single-threaded per
+// network, so no locking is needed, and reuse order is deterministic.
+//
+// Building with -tags=nopool (or calling SetPooling(false) before a run)
+// turns both calls into plain allocate/forget, the reference behaviour the
+// pooling determinism tests compare against.
+
+// NewPacket returns a zeroed packet, reusing a recycled one when pooling is
+// on. All fields are zero, exactly as a &Packet{} literal.
+func (nw *Network) NewPacket() *Packet {
+	if n := len(nw.pktFree); n > 0 {
+		pkt := nw.pktFree[n-1]
+		nw.pktFree[n-1] = nil
+		nw.pktFree = nw.pktFree[:n-1]
+		return pkt
+	}
+	return &Packet{}
+}
+
+// FreePacket recycles a delivered packet. The caller must be the packet's
+// final consumer: after this call every field is zeroed and the struct may
+// be handed out again by NewPacket. Packets not minted by NewPacket (tests
+// build them with literals) may be freed too; they simply join the pool.
+func (nw *Network) FreePacket(pkt *Packet) {
+	if !nw.pooling {
+		return
+	}
+	*pkt = Packet{}
+	nw.pktFree = append(nw.pktFree, pkt)
+}
+
+// SetPooling toggles packet recycling. Turning it off makes FreePacket a
+// no-op, so every NewPacket heap-allocates — the fallback used to verify
+// pooling does not change simulated results. Toggle before running; packets
+// already in the pool remain reusable.
+func (nw *Network) SetPooling(on bool) { nw.pooling = on }
+
+// PoolSize reports the number of packets currently in the free list.
+func (nw *Network) PoolSize() int { return len(nw.pktFree) }

@@ -1,0 +1,7 @@
+//go:build !nopool
+
+package netsim
+
+// poolingDefault is the packet-pool state for new networks; the nopool
+// build tag flips it off for A/B determinism runs.
+const poolingDefault = true

@@ -1,0 +1,7 @@
+//go:build nopool
+
+package netsim
+
+// poolingDefault disables the packet pool under -tags=nopool, the reference
+// configuration the pooling determinism tests compare against.
+const poolingDefault = false

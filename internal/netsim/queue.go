@@ -60,6 +60,13 @@ func (q *Queue) Pop() *Packet {
 	q.pkts[q.head] = nil
 	q.head++
 	q.bytes -= pkt.Size
+	// Reset an emptied queue so a drain-by-Pop workload reuses the backing
+	// array from the front instead of growing it (and holding dead slots)
+	// forever; Push's occasional compaction only helps mixed workloads.
+	if q.head == len(q.pkts) {
+		q.pkts = q.pkts[:0]
+		q.head = 0
+	}
 	return pkt
 }
 

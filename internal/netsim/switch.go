@@ -81,11 +81,13 @@ func (sw *Switch) Receive(pkt *Packet) {
 		if p := sw.portToward(pkt.Src); p != nil {
 			p.pause()
 		}
+		sw.net.FreePacket(pkt)
 		return
 	case Resume:
 		if p := sw.portToward(pkt.Src); p != nil {
 			p.unpause()
 		}
+		sw.net.FreePacket(pkt)
 		return
 	}
 	idx, ok := sw.routes[pkt.Dst]
@@ -134,10 +136,12 @@ func (sw *Switch) departed(pkt *Packet) {
 
 func (sw *Switch) sendPFC(portIndex int, kind Kind) {
 	p := sw.ports[portIndex]
-	pkt := &Packet{
-		ID: sw.net.NextPacketID(), Flow: -1,
-		Src: sw.id, Dst: p.peer.ID(),
-		Size: CtrlSize, Kind: kind,
-	}
+	pkt := sw.net.NewPacket()
+	pkt.ID = sw.net.NextPacketID()
+	pkt.Flow = -1
+	pkt.Src = sw.id
+	pkt.Dst = p.peer.ID()
+	pkt.Size = CtrlSize
+	pkt.Kind = kind
 	p.SendDirect(pkt)
 }

@@ -162,11 +162,14 @@ func (e *Endpoint) Handle(h *netsim.Host, pkt *netsim.Packet) {
 func (e *Endpoint) handleData(pkt *netsim.Packet) {
 	e.rxBytes[pkt.Flow] += int64(pkt.Size)
 	if pkt.AckReq || pkt.Last {
-		e.host.Send(&netsim.Packet{
-			Flow: pkt.Flow, Dst: pkt.Src,
-			Size: netsim.CtrlSize, Kind: netsim.Ack,
-			EchoT: pkt.SentAt, Bytes: pkt.Size,
-		})
+		ack := e.host.Net().NewPacket()
+		ack.Flow = pkt.Flow
+		ack.Dst = pkt.Src
+		ack.Size = netsim.CtrlSize
+		ack.Kind = netsim.Ack
+		ack.EchoT = pkt.SentAt
+		ack.Bytes = pkt.Size
+		e.host.Send(ack)
 	}
 	if pkt.Last && e.OnComplete != nil {
 		e.OnComplete(Completion{Flow: pkt.Flow, Bytes: e.rxBytes[pkt.Flow], At: e.host.Now()})
@@ -198,6 +201,27 @@ type Sender struct {
 	RateHook func(t des.Time, rate float64)
 }
 
+// Handler arguments: the sender is its own des.Handler, dispatching the
+// pacing events on a small-int argument (boxes without allocating) so
+// steady-state scheduling is allocation-free.
+const (
+	evStart  = iota // flow start at its configured time
+	evPacket        // per-packet pacing tick
+	evBurst         // per-burst pacing tick
+)
+
+// OnEvent implements des.Handler.
+func (s *Sender) OnEvent(arg any) {
+	switch arg.(int) {
+	case evStart:
+		s.start()
+	case evPacket:
+		s.sendNextPacket()
+	case evBurst:
+		s.sendBurst()
+	}
+}
+
 // NewFlow registers a flow of size bytes (size < 0: unbounded) toward host
 // dst, starting at the given time. startRate <= 0 selects the [21] default
 // of C/(N+1), computed at start time from the flows active on this host.
@@ -207,7 +231,7 @@ func (e *Endpoint) NewFlow(id int, dst int, size int64, start des.Time, startRat
 	}
 	s := &Sender{e: e, id: id, dst: dst, size: size, startRate: startRate}
 	e.flows[id] = s
-	e.host.Net().Sim.At(start, s.start)
+	e.host.Net().Sim.AtHandler(start, s, evStart)
 	return s, nil
 }
 
@@ -273,11 +297,15 @@ func (s *Sender) nextPacket() *netsim.Packet {
 		ackReq = true
 		s.segBytes = 0
 	}
-	pkt := &netsim.Packet{
-		Flow: s.id, Dst: s.dst, Size: int(size),
-		Kind: netsim.Data, ECT: true, Seq: s.sent,
-		Last: last, AckReq: ackReq,
-	}
+	pkt := s.e.host.Net().NewPacket()
+	pkt.Flow = s.id
+	pkt.Dst = s.dst
+	pkt.Size = int(size)
+	pkt.Kind = netsim.Data
+	pkt.ECT = true
+	pkt.Seq = s.sent
+	pkt.Last = last
+	pkt.AckReq = ackReq
 	s.sent += size
 	return pkt
 }
@@ -293,13 +321,16 @@ func (s *Sender) sendNextPacket() {
 		s.done = true
 		return
 	}
+	// Ownership of pkt transfers to the network at Send; read its fields
+	// before handing it over.
+	size, last := pkt.Size, pkt.Last
 	s.e.host.Send(pkt)
-	if pkt.Last {
+	if last {
 		s.done = true
 		return
 	}
-	gap := des.DurationFromSeconds(float64(pkt.Size) / s.rate)
-	s.e.host.Net().Sim.Schedule(gap, s.sendNextPacket)
+	gap := des.DurationFromSeconds(float64(size) / s.rate)
+	s.e.host.Net().Sim.ScheduleHandler(gap, s, evPacket)
 }
 
 // sendBurst implements per-burst pacing: a whole segment is handed to the
@@ -316,13 +347,14 @@ func (s *Sender) sendBurst() {
 			s.done = true
 			break
 		}
+		size, last, ackReq := pkt.Size, pkt.Last, pkt.AckReq
 		s.e.host.Send(pkt)
-		burstBytes += int64(pkt.Size)
-		if pkt.Last {
+		burstBytes += int64(size)
+		if last {
 			s.done = true
 			break
 		}
-		if pkt.AckReq {
+		if ackReq {
 			break // segment boundary
 		}
 	}
@@ -330,7 +362,7 @@ func (s *Sender) sendBurst() {
 		return
 	}
 	gap := des.DurationFromSeconds(float64(burstBytes) / s.rate)
-	s.e.host.Net().Sim.Schedule(gap, s.sendBurst)
+	s.e.host.Net().Sim.ScheduleHandler(gap, s, evBurst)
 }
 
 // onAck is the completion event: compute the RTT sample and run the rate
