@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt test race bench bench-smoke
+.PHONY: ci build vet fmt test race bench bench-smoke determinism
 
-ci: fmt vet build test race bench-smoke
+ci: fmt vet build test race bench-smoke determinism
 
 build:
 	$(GO) build ./...
@@ -18,13 +18,13 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 5m ./...
 
 # Race gate for the concurrent code paths: the sweep engine, the
-# experiment registry it drives, and the pooled event/packet engines
-# underneath them.
+# experiment registry it drives, the pooled event/packet engines
+# underneath them, and the fault-injection layer that hooks into them.
 race:
-	$(GO) test -race ./internal/des ./internal/netsim ./internal/sweep ./internal/exp
+	$(GO) test -race -timeout 5m ./internal/des ./internal/netsim ./internal/sweep ./internal/exp ./internal/fault
 
 bench:
 	$(GO) test -bench=Sweep -run='^$$' .
@@ -32,6 +32,16 @@ bench:
 # Alloc-regression gate: run the hot-path microbenchmarks once and the
 # AllocsPerRun guards that pin the steady-state paths at 0 allocs/op.
 bench-smoke:
-	$(GO) test -run='^$$' -bench='HandlerEvents|ClosureEvents|PortChain' \
+	$(GO) test -timeout 5m -run='^$$' -bench='HandlerEvents|ClosureEvents|PortChain' \
 		-benchmem -benchtime=1x ./internal/des ./internal/netsim
-	$(GO) test -run='AllocFree' ./internal/des ./internal/netsim
+	$(GO) test -timeout 5m -run='AllocFree' ./internal/des ./internal/netsim
+
+# Determinism gate: a faulty packet-level run (loss + feedback loss +
+# go-back-N recovery) executed twice must produce byte-identical output.
+determinism:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/packetsim -proto dcqcn -n 4 -horizon 0.02 \
+		-loss 1e-3 -ctrl-loss 1e-2 -recovery -seed 7 -fault-seed 42 > "$$tmp/a.tsv"; \
+	$(GO) run ./cmd/packetsim -proto dcqcn -n 4 -horizon 0.02 \
+		-loss 1e-3 -ctrl-loss 1e-2 -recovery -seed 7 -fault-seed 42 > "$$tmp/b.tsv"; \
+	cmp "$$tmp/a.tsv" "$$tmp/b.tsv" && echo "determinism: faulty run reproduces byte-for-byte"

@@ -130,6 +130,16 @@ func BenchmarkExtPFCHoLBlocking(b *testing.B) { benchRunner(b, "extpfc") }
 // BenchmarkExtPacketLevelPI regenerates the datapath-PI extension.
 func BenchmarkExtPacketLevelPI(b *testing.B) { benchRunner(b, "extpi") }
 
+// ---- Robustness extensions (fault injection) ----
+
+// BenchmarkFaultLossFCT regenerates the FCT-under-packet-loss sweep
+// (go-back-N recovery on lossy links).
+func BenchmarkFaultLossFCT(b *testing.B) { benchRunner(b, "faultloss") }
+
+// BenchmarkFaultCNPLoss regenerates the DCQCN queue-stability-under-
+// CNP-loss experiment.
+func BenchmarkFaultCNPLoss(b *testing.B) { benchRunner(b, "faultcnp") }
+
 // ---- Ablations (design choices called out in DESIGN.md) ----
 
 // BenchmarkAblationMarkingPoint contrasts egress and ingress ECN marking
@@ -325,6 +335,7 @@ func TestEveryExperimentHasABenchmark(t *testing.T) {
 		"fig14": true, "fig15": true, "fig16": true, "fig17": true,
 		"fig18": true, "fig19": true, "fig20": true, "thm6": true, "fig21": true,
 		"extmultihop": true, "extpfc": true, "extpi": true,
+		"faultloss": true, "faultcnp": true,
 	}
 	for _, r := range ecndelay.Runners() {
 		if !covered[r.ID] {

@@ -5,6 +5,15 @@
 //	packetsim -proto dcqcn -n 10 -bw 40e9 -extra-delay 85e-6
 //	packetsim -proto timely -n 2 -rates 875e6,375e6
 //	packetsim -proto patched -n 2 -burst
+//
+// Fault injection (all off by default; output stays deterministic for
+// fixed -seed and -fault-seed, which is what the Makefile determinism
+// gate diffs):
+//
+//	packetsim -proto dcqcn -loss 1e-3 -ctrl-loss 1e-2 -recovery
+//	packetsim -proto dcqcn -flap 0.01,0.02 -recovery
+//	packetsim -proto dcqcn -qcap 100000 -recovery
+//	packetsim -proto dcqcn -pfc-pause 300000 -pfc-resume 150000 -pfc-watchdog 1e-3
 package main
 
 import (
@@ -38,6 +47,17 @@ func main() {
 		sample     = flag.Float64("sample", 1e-4, "output sampling interval, seconds")
 		rates      = flag.String("rates", "", "comma-separated TIMELY start rates, bytes/s")
 		seed       = flag.Int64("seed", 1, "simulation seed")
+
+		lossRate  = flag.Float64("loss", 0, "i.i.d. data loss rate on the bottleneck port")
+		ctrlLoss  = flag.Float64("ctrl-loss", 0, "i.i.d. ack/NACK/CNP loss rate on the receiver NIC")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault draws")
+		flapSpec  = flag.String("flap", "", "bottleneck link flap: down,up seconds (up 0 = stays down)")
+		recovery  = flag.Bool("recovery", false, "go-back-N loss recovery at the endpoints")
+		rto       = flag.Float64("rto", 0, "retransmission timeout, seconds (0: protocol default)")
+		qcap      = flag.Int("qcap", 0, "switch egress queue capacity, bytes (0: unbounded)")
+		pfcPause  = flag.Int("pfc-pause", 0, "PFC pause threshold, bytes (0: PFC off)")
+		pfcResume = flag.Int("pfc-resume", 0, "PFC resume threshold, bytes")
+		pfcWatch  = flag.Float64("pfc-watchdog", 0, "flag pauses sustained this many seconds (0: off)")
 	)
 	flag.Parse()
 
@@ -60,6 +80,8 @@ func main() {
 		Mark:           mark,
 		CtrlExtraDelay: ecndelay.DurationFromSeconds(*extraDelay),
 		CtrlJitterMax:  ecndelay.DurationFromSeconds(*jitter),
+		PFC:            ecndelay.PFCConfig{PauseBytes: *pfcPause, ResumeBytes: *pfcResume},
+		SwitchQueueCap: *qcap,
 	})
 
 	var startRates []float64
@@ -77,13 +99,17 @@ func main() {
 	}
 
 	rate := make([]func() float64, *n)
+	retx := make([]func() int64, *n)
 	switch *proto {
 	case "dcqcn":
-		if _, err := ecndelay.NewDCQCNEndpoint(star.Receiver, ecndelay.DefaultDCQCNProtoParams()); err != nil {
+		p := ecndelay.DefaultDCQCNProtoParams()
+		p.Recovery = *recovery
+		p.RTO = ecndelay.DurationFromSeconds(*rto)
+		if _, err := ecndelay.NewDCQCNEndpoint(star.Receiver, p); err != nil {
 			log.Fatal(err)
 		}
 		for i, h := range star.Senders {
-			ep, err := ecndelay.NewDCQCNEndpoint(h, ecndelay.DefaultDCQCNProtoParams())
+			ep, err := ecndelay.NewDCQCNEndpoint(h, p)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -92,6 +118,7 @@ func main() {
 				log.Fatal(err)
 			}
 			rate[i] = s.Rate
+			retx[i] = func() int64 { return s.Recovery().RetxBytes }
 		}
 	case "timely", "patched":
 		p := ecndelay.DefaultTimelyProtoParams()
@@ -102,6 +129,8 @@ func main() {
 		if *seg > 0 {
 			p.Seg = *seg
 		}
+		p.Recovery = *recovery
+		p.RTO = ecndelay.DurationFromSeconds(*rto)
 		if _, err := ecndelay.NewTimelyEndpoint(star.Receiver, p); err != nil {
 			log.Fatal(err)
 		}
@@ -119,9 +148,55 @@ func main() {
 				log.Fatal(err)
 			}
 			rate[i] = s.Rate
+			retx[i] = func() int64 { return s.Recovery().RetxBytes }
 		}
 	default:
 		log.Fatalf("unknown -proto %q", *proto)
+	}
+
+	// Assemble the fault plan: data loss and flaps on the bottleneck,
+	// control loss on the receiver's NIC (where acks/NACKs/CNPs originate).
+	plan := &ecndelay.FaultPlan{Seed: *faultSeed}
+	bn := ecndelay.LinkFaults{Port: star.Bottleneck}
+	if *lossRate > 0 {
+		bn.Loss = append(bn.Loss, ecndelay.Loss{Kinds: ecndelay.SelData, Rate: *lossRate})
+	}
+	if *flapSpec != "" {
+		parts := strings.Split(*flapSpec, ",")
+		if len(parts) != 2 {
+			log.Fatalf("bad -flap %q, want down,up seconds", *flapSpec)
+		}
+		down, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		up, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err1 != nil || err2 != nil {
+			log.Fatalf("bad -flap %q: %v %v", *flapSpec, err1, err2)
+		}
+		bn.Flaps = append(bn.Flaps, ecndelay.Flap{
+			DownAt: ecndelay.Time(ecndelay.DurationFromSeconds(down)),
+			UpAt:   ecndelay.Time(ecndelay.DurationFromSeconds(up)),
+		})
+	}
+	if len(bn.Loss)+len(bn.Flaps) > 0 {
+		plan.Links = append(plan.Links, bn)
+	}
+	if *ctrlLoss > 0 {
+		plan.Links = append(plan.Links, ecndelay.LinkFaults{
+			Port: star.Receiver.Port(),
+			Loss: []ecndelay.Loss{{Kinds: ecndelay.SelCtrl, Rate: *ctrlLoss}},
+		})
+	}
+	var applied *ecndelay.AppliedFaults
+	if len(plan.Links) > 0 {
+		applied = plan.Apply(nw)
+	}
+	var wd *ecndelay.PFCWatchdog
+	if *pfcWatch > 0 {
+		wd = ecndelay.NewPFCWatchdog(nw, ecndelay.DurationFromSeconds(*pfcWatch))
+		wd.WatchSwitch(star.Switch)
+		for _, h := range star.Senders {
+			wd.WatchHost(h)
+		}
+		wd.WatchHost(star.Receiver)
 	}
 
 	out := bufio.NewWriter(os.Stdout)
@@ -139,7 +214,43 @@ func main() {
 		fmt.Fprintln(out)
 	})
 	nw.Sim.RunUntil(ecndelay.Time(ecndelay.DurationFromSeconds(*horizon)))
+
+	// A trailing comment block carries the fault/degradation summary, so
+	// piping the TSV elsewhere still works and a determinism check can
+	// diff the whole output byte for byte.
+	if applied != nil || wd != nil || *qcap > 0 || *recovery {
+		var retxSum int64
+		for i := 0; i < *n; i++ {
+			retxSum += retx[i]()
+		}
+		var bufDrops int64
+		for _, p := range star.Switch.Ports() {
+			bufDrops += p.Queue().Drops()
+		}
+		wireDrops := star.Bottleneck.WireDrops() + star.Receiver.Port().WireDrops()
+		fmt.Fprintf(out, "# faults: injected_drops=%d wire_drops=%d buffer_drops=%d retx_bytes=%d",
+			injectedDrops(applied), wireDrops, bufDrops, retxSum)
+		if wd != nil {
+			wd.Finish()
+			deadlocked := 0
+			for _, e := range wd.Events() {
+				if e.OpenAtFinish {
+					deadlocked++
+				}
+			}
+			fmt.Fprintf(out, " pause_storms=%d open_at_finish=%d paused_s=%.6f",
+				wd.Storms(), deadlocked, float64(wd.PausedTotal())/1e9)
+		}
+		fmt.Fprintln(out)
+	}
 	if err := stopProf(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+func injectedDrops(a *ecndelay.AppliedFaults) int64 {
+	if a == nil {
+		return 0
+	}
+	return a.Drops()
 }

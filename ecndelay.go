@@ -46,6 +46,7 @@ import (
 	"ecndelay/internal/dcqcn"
 	"ecndelay/internal/des"
 	"ecndelay/internal/exp"
+	"ecndelay/internal/fault"
 	"ecndelay/internal/fixedpoint"
 	"ecndelay/internal/fluid"
 	"ecndelay/internal/netsim"
@@ -312,6 +313,59 @@ func MonitorQueueBytes(nw *Network, p *Port, every Duration) *Series {
 // MonitorThroughput samples a port's delivered rate into a time series.
 func MonitorThroughput(nw *Network, p *Port, every Duration) *Series {
 	return netsim.MonitorThroughput(nw.Sim, p, every)
+}
+
+// ---- Fault injection and loss recovery ----
+
+// Fault-injection types (internal/fault, internal/netsim). A FaultPlan is
+// a declarative, seeded schedule of packet loss and link flaps; applying
+// an empty plan — or none — leaves a run bit-identical to a fault-free
+// one.
+type (
+	// FaultSelector is a bitmask choosing the packet kinds a loss rule
+	// applies to.
+	FaultSelector = fault.Selector
+	// GilbertElliott parameterises bursty two-state loss.
+	GilbertElliott = fault.GilbertElliott
+	// Loss is one loss rule on a link.
+	Loss = fault.Loss
+	// Flap takes a link down at a set time, optionally back up later.
+	Flap = fault.Flap
+	// LinkFaults binds loss rules and flaps to one port.
+	LinkFaults = fault.LinkFaults
+	// FaultPlan is a complete deterministic fault schedule.
+	FaultPlan = fault.Plan
+	// AppliedFaults is a live plan on a network; Remove detaches it.
+	AppliedFaults = fault.Applied
+
+	// PFCWatchdog flags sustained PAUSE (pause storms) and pauses still
+	// open at the end of a run (suspected deadlock).
+	PFCWatchdog = netsim.PFCWatchdog
+	// PauseStorm is one watchdog detection.
+	PauseStorm = netsim.PauseStorm
+
+	// DCQCNRecoveryStats summarises a DCQCN sender's go-back-N work.
+	DCQCNRecoveryStats = dcqcn.RecoveryStats
+	// TimelyRecoveryStats summarises a TIMELY sender's go-back-N work.
+	TimelyRecoveryStats = timely.RecoveryStats
+)
+
+// Loss-rule selectors.
+const (
+	SelData = fault.SelData
+	SelAck  = fault.SelAck
+	SelCNP  = fault.SelCNP
+	SelNack = fault.SelNack
+	SelPFC  = fault.SelPFC
+	SelCtrl = fault.SelCtrl
+	SelAll  = fault.SelAll
+)
+
+// NewPFCWatchdog creates a watchdog that flags any pause sustained past
+// threshold. Attach ports with Watch/WatchHost/WatchSwitch and call
+// Finish after the run.
+func NewPFCWatchdog(nw *Network, threshold Duration) *PFCWatchdog {
+	return netsim.NewPFCWatchdog(nw.Sim, threshold)
 }
 
 // ---- Workload and statistics ----

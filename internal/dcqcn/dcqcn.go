@@ -25,6 +25,49 @@ type Params struct {
 	RAI         float64      // additive increase step, bytes/s (40 Mb/s)
 	RHAI        float64      // hyper increase step, bytes/s (200 Mb/s)
 	MinRate     float64      // rate floor, bytes/s
+
+	// Recovery enables go-back-N loss recovery: the NP acknowledges
+	// in-order bytes cumulatively, NACKs sequence gaps, and the RP
+	// retransmits from the last acknowledged offset, backstopped by an
+	// RTO with exponential backoff. Off by default — RoCE assumes a
+	// lossless fabric, and with Recovery false the wire behaviour is
+	// bit-identical to builds that predate it.
+	Recovery bool
+	// RTO is the retransmission timeout (0: 1 ms when Recovery is on).
+	RTO des.Duration
+	// RTOMax caps the exponential backoff (0: 8×RTO).
+	RTOMax des.Duration
+	// AckBytes is the cumulative-ack spacing in in-order bytes (0: 64 KB).
+	AckBytes int64
+	// AckInterval also forces an ack when this much time passed since the
+	// last signal, so slow flows keep their RTO quiet (0: 100 µs).
+	AckInterval des.Duration
+	// NackMinGap rate-limits NACKs and duplicate re-acks per flow (0: 50 µs).
+	NackMinGap des.Duration
+}
+
+// withRecoveryDefaults fills zero-valued recovery knobs when Recovery is
+// enabled; with Recovery off they stay zero and unused.
+func (p Params) withRecoveryDefaults() Params {
+	if !p.Recovery {
+		return p
+	}
+	if p.RTO == 0 {
+		p.RTO = des.Millisecond
+	}
+	if p.RTOMax == 0 {
+		p.RTOMax = 8 * p.RTO
+	}
+	if p.AckBytes == 0 {
+		p.AckBytes = 64000
+	}
+	if p.AckInterval == 0 {
+		p.AckInterval = 100 * des.Microsecond
+	}
+	if p.NackMinGap == 0 {
+		p.NackMinGap = 50 * des.Microsecond
+	}
+	return p
 }
 
 // DefaultParams returns the [31] defaults.
@@ -57,6 +100,10 @@ func (p Params) Validate() error {
 		return errors.New("dcqcn: need 0 < RAI <= RHAI")
 	case p.MinRate <= 0:
 		return errors.New("dcqcn: MinRate must be positive")
+	case p.Recovery && (p.RTO <= 0 || p.RTOMax < p.RTO):
+		return errors.New("dcqcn: recovery needs 0 < RTO <= RTOMax")
+	case p.Recovery && (p.AckBytes <= 0 || p.AckInterval <= 0 || p.NackMinGap <= 0):
+		return errors.New("dcqcn: recovery ack/nack knobs must be positive")
 	}
 	return nil
 }
@@ -76,6 +123,7 @@ type Endpoint struct {
 	p     Params
 	flows map[int]*Sender
 	np    map[int]*npState
+	rx    map[int]*rxState // go-back-N receive state (Recovery only)
 
 	rxBytes map[int]int64
 	// OnComplete, if set, fires when a flow's last packet arrives here.
@@ -89,6 +137,7 @@ type npState struct {
 
 // NewEndpoint attaches a DCQCN engine to h.
 func NewEndpoint(h *netsim.Host, p Params) (*Endpoint, error) {
+	p = p.withRecoveryDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -96,6 +145,7 @@ func NewEndpoint(h *netsim.Host, p Params) (*Endpoint, error) {
 		host: h, p: p,
 		flows:   make(map[int]*Sender),
 		np:      make(map[int]*npState),
+		rx:      make(map[int]*rxState),
 		rxBytes: make(map[int]int64),
 	}
 	h.Transport = e
@@ -114,32 +164,51 @@ func (e *Endpoint) Handle(h *netsim.Host, pkt *netsim.Packet) {
 		if s, ok := e.flows[pkt.Flow]; ok {
 			s.onCNP()
 		}
+	case netsim.Ack:
+		if s, ok := e.flows[pkt.Flow]; ok {
+			s.onAck(pkt.Seq)
+		}
+	case netsim.Nack:
+		if s, ok := e.flows[pkt.Flow]; ok {
+			s.onNack(pkt.Seq)
+		}
 	}
 }
 
 // handleData is the NP role plus completion tracking.
 func (e *Endpoint) handleData(pkt *netsim.Packet) {
-	e.rxBytes[pkt.Flow] += int64(pkt.Size)
-	if pkt.CE {
-		st := e.np[pkt.Flow]
-		if st == nil {
-			st = &npState{}
-			e.np[pkt.Flow] = st
-		}
-		now := e.host.Now()
-		if !st.sent || now.Sub(st.lastCNP) >= e.p.CNPInterval {
-			st.sent = true
-			st.lastCNP = now
-			cnp := e.host.Net().NewPacket()
-			cnp.Flow = pkt.Flow
-			cnp.Dst = pkt.Src
-			cnp.Size = netsim.CtrlSize
-			cnp.Kind = netsim.CNP
-			e.host.Send(cnp)
-		}
+	if e.p.Recovery {
+		e.recvData(pkt)
+		return
 	}
+	e.rxBytes[pkt.Flow] += int64(pkt.Size)
+	e.maybeCNP(pkt)
 	if pkt.Last && e.OnComplete != nil {
 		e.OnComplete(Completion{Flow: pkt.Flow, Bytes: e.rxBytes[pkt.Flow], At: e.host.Now()})
+	}
+}
+
+// maybeCNP generates the NP's congestion notification for a CE-marked
+// data packet, rate-limited to one per CNPInterval per flow.
+func (e *Endpoint) maybeCNP(pkt *netsim.Packet) {
+	if !pkt.CE {
+		return
+	}
+	st := e.np[pkt.Flow]
+	if st == nil {
+		st = &npState{}
+		e.np[pkt.Flow] = st
+	}
+	now := e.host.Now()
+	if !st.sent || now.Sub(st.lastCNP) >= e.p.CNPInterval {
+		st.sent = true
+		st.lastCNP = now
+		cnp := e.host.Net().NewPacket()
+		cnp.Flow = pkt.Flow
+		cnp.Dst = pkt.Src
+		cnp.Size = netsim.CtrlSize
+		cnp.Kind = netsim.CNP
+		e.host.Send(cnp)
 	}
 }
 
@@ -160,9 +229,21 @@ type Sender struct {
 	done    bool
 	started bool
 
+	// Go-back-N recovery state (Params.Recovery only).
+	acked        int64 // cumulative acknowledged bytes
+	maxSent      int64 // high-water mark of the send cursor
+	retxBytes    int64
+	rewinds      int64
+	rtos         int64
+	rtoShift     int // exponential backoff exponent
+	recovering   bool
+	recoverStart des.Time
+	recoverTime  des.Duration
+
 	alphaEv des.EventRef
 	timerEv des.EventRef
 	sendEv  des.EventRef
+	rtoEv   des.EventRef
 
 	// RateSeries, if non-nil, records (t, rc) on every rate change.
 	RateHook func(t des.Time, rate float64)
@@ -176,6 +257,7 @@ const (
 	evSend         // paced transmission of the next data packet
 	evAlpha        // Eq. 2 α decay timer (τ')
 	evRate         // rate-increase timer (T)
+	evRTO          // retransmission timeout (Recovery only)
 )
 
 // OnEvent implements des.Handler.
@@ -193,6 +275,8 @@ func (s *Sender) OnEvent(arg any) {
 		s.tStage++
 		s.increase()
 		s.armRateTimer()
+	case evRTO:
+		s.onRTO()
 	}
 }
 
@@ -269,7 +353,18 @@ func (s *Sender) sendNext() {
 	pkt.Seq = s.sent
 	pkt.Last = last
 	s.e.host.Send(pkt)
+	if s.e.p.Recovery {
+		if s.sent < s.maxSent {
+			s.retxBytes += size
+		}
+	}
 	s.sent += size
+	if s.e.p.Recovery {
+		if s.sent > s.maxSent {
+			s.maxSent = s.sent
+		}
+		s.armRTO()
+	}
 	s.onBytesSent(size)
 	if last {
 		s.finish()
@@ -280,9 +375,17 @@ func (s *Sender) sendNext() {
 }
 
 func (s *Sender) finish() {
+	if s.e.p.Recovery && s.size >= 0 && s.acked < s.size {
+		// The cursor reached the end but unacked bytes may be lost:
+		// pacing stops, the RTO (and incoming NACKs) drive retransmission
+		// until the cumulative ack covers the flow.
+		s.armRTO()
+		return
+	}
 	s.done = true
 	s.alphaEv.Cancel()
 	s.timerEv.Cancel()
+	s.rtoEv.Cancel()
 }
 
 // onBytesSent advances the rate-increase byte counter (stage events every

@@ -1,0 +1,220 @@
+package dcqcn
+
+import (
+	"ecndelay/internal/des"
+	"ecndelay/internal/netsim"
+)
+
+// Go-back-N loss recovery (Params.Recovery). RoCE NICs implement exactly
+// this shape of recovery: the receiver delivers only in-order data,
+// cumulative ACKs ride back every AckBytes (or AckInterval), a sequence
+// gap triggers a rate-limited NACK naming the next expected offset, and
+// the sender rewinds its cursor and resends everything from there. An RTO
+// with exponential backoff backstops lost feedback. All of it is inert —
+// zero extra events, zero wire changes — when Recovery is off.
+
+// rxState is the receiver-side per-flow reassembly cursor.
+type rxState struct {
+	exp     int64 // next expected byte offset
+	pending int64 // in-order bytes since the last cumulative ack
+	lastSig des.Time
+	sigged  bool
+}
+
+// recvData is handleData under Recovery: in-order payload is delivered
+// and acknowledged cumulatively; gaps and duplicates are signalled. CE
+// marks still generate CNPs regardless of ordering — congestion feedback
+// must not wait for retransmissions.
+func (e *Endpoint) recvData(pkt *netsim.Packet) {
+	e.maybeCNP(pkt)
+	st := e.rx[pkt.Flow]
+	if st == nil {
+		st = &rxState{}
+		e.rx[pkt.Flow] = st
+	}
+	now := e.host.Now()
+	switch {
+	case pkt.Seq == st.exp:
+		size := int64(pkt.Size)
+		st.exp += size
+		st.pending += size
+		e.rxBytes[pkt.Flow] += size
+		if pkt.Last || !st.sigged || st.pending >= e.p.AckBytes ||
+			now.Sub(st.lastSig) >= e.p.AckInterval {
+			e.signal(pkt, netsim.Ack, st, now)
+			st.pending = 0
+		}
+		if pkt.Last && e.OnComplete != nil {
+			e.OnComplete(Completion{Flow: pkt.Flow, Bytes: e.rxBytes[pkt.Flow], At: now})
+		}
+	case pkt.Seq > st.exp:
+		// Gap: the payload is useless to go-back-N; ask for the missing
+		// offset, rate-limited so a burst of out-of-order arrivals does
+		// not stampede the sender.
+		if !st.sigged || now.Sub(st.lastSig) >= e.p.NackMinGap {
+			e.signal(pkt, netsim.Nack, st, now)
+		}
+	default:
+		// Duplicate of delivered data (a rewind overshoot, or our ack
+		// got lost). Re-ack so the sender cannot wedge waiting for an
+		// acknowledgement that already died on the wire.
+		if !st.sigged || now.Sub(st.lastSig) >= e.p.NackMinGap {
+			e.signal(pkt, netsim.Ack, st, now)
+			st.pending = 0
+		}
+	}
+}
+
+// signal emits a cumulative Ack or Nack carrying the next expected offset.
+func (e *Endpoint) signal(data *netsim.Packet, kind netsim.Kind, st *rxState, now des.Time) {
+	st.sigged = true
+	st.lastSig = now
+	pkt := e.host.Net().NewPacket()
+	pkt.Flow = data.Flow
+	pkt.Dst = data.Src
+	pkt.Size = netsim.CtrlSize
+	pkt.Kind = kind
+	pkt.Seq = st.exp
+	e.host.Send(pkt)
+}
+
+// TotalRxBytes sums delivered payload across flows at this endpoint —
+// under Recovery that is in-order bytes only, i.e. goodput.
+func (e *Endpoint) TotalRxBytes() int64 {
+	var n int64
+	for _, b := range e.rxBytes {
+		n += b
+	}
+	return n
+}
+
+// RecoveryStats summarises a sender's loss-recovery work.
+type RecoveryStats struct {
+	RetxBytes    int64        // bytes re-sent below the high-water mark
+	Rewinds      int64        // go-back-N cursor rewinds
+	RTOs         int64        // retransmission timeouts fired
+	AckedBytes   int64        // cumulative acknowledged bytes
+	Recovering   bool         // currently inside a recovery episode
+	RecoveryTime des.Duration // total time spent recovering
+}
+
+// Recovery reports the sender's loss-recovery statistics.
+func (s *Sender) Recovery() RecoveryStats {
+	return RecoveryStats{
+		RetxBytes:    s.retxBytes,
+		Rewinds:      s.rewinds,
+		RTOs:         s.rtos,
+		AckedBytes:   s.acked,
+		Recovering:   s.recovering,
+		RecoveryTime: s.recoverTime,
+	}
+}
+
+// onAck applies a cumulative acknowledgement.
+func (s *Sender) onAck(seq int64) {
+	if !s.e.p.Recovery || !s.started || s.done {
+		return
+	}
+	if seq > s.acked {
+		s.acked = seq
+		s.rtoShift = 0 // feedback is flowing again
+	}
+	s.checkRecovered()
+	if s.size >= 0 && s.acked >= s.size {
+		s.complete()
+		return
+	}
+	if s.acked >= s.sent {
+		s.rtoEv.Cancel() // nothing outstanding
+	} else {
+		s.armRTO()
+	}
+}
+
+// onNack rewinds to the receiver's next expected offset. The NACK's Seq
+// is also a cumulative acknowledgement of everything before it.
+func (s *Sender) onNack(seq int64) {
+	if !s.e.p.Recovery || !s.started || s.done {
+		return
+	}
+	if seq > s.acked {
+		s.acked = seq
+		s.rtoShift = 0
+	}
+	s.checkRecovered()
+	if s.size >= 0 && s.acked >= s.size {
+		s.complete()
+		return
+	}
+	s.rewind(seq)
+}
+
+// onRTO fires when neither acks nor nacks arrived for a full timeout:
+// assume everything outstanding is lost and go back to the last ack.
+func (s *Sender) onRTO() {
+	if s.done || !s.started {
+		return
+	}
+	if s.acked >= s.sent {
+		// Nothing outstanding (a stale timer): keep a quiet backstop.
+		s.armRTO()
+		return
+	}
+	s.rtos++
+	if s.rtoShift < 16 {
+		s.rtoShift++ // exponential backoff, capped by RTOMax in armRTO
+	}
+	s.rewind(s.acked)
+}
+
+// rewind moves the send cursor back to offset `to` and restarts pacing.
+// The payload is synthetic, so go-back-N needs no retransmit buffer —
+// rewinding the cursor regenerates identical packets.
+func (s *Sender) rewind(to int64) {
+	if to < s.acked {
+		to = s.acked
+	}
+	if to >= s.sent {
+		return // nothing to go back over
+	}
+	if !s.recovering {
+		s.recovering = true
+		s.recoverStart = s.e.host.Now()
+	}
+	s.rewinds++
+	s.sent = to
+	s.sendEv.Cancel()
+	s.sendNext()
+}
+
+// checkRecovered closes a recovery episode once the cumulative ack has
+// caught back up with the high-water mark.
+func (s *Sender) checkRecovered() {
+	if s.recovering && s.acked >= s.maxSent {
+		s.recoverTime += s.e.host.Now().Sub(s.recoverStart)
+		s.recovering = false
+	}
+}
+
+// complete ends the flow once every byte is acknowledged.
+func (s *Sender) complete() {
+	if s.recovering {
+		s.recoverTime += s.e.host.Now().Sub(s.recoverStart)
+		s.recovering = false
+	}
+	s.done = true
+	s.sendEv.Cancel()
+	s.alphaEv.Cancel()
+	s.timerEv.Cancel()
+	s.rtoEv.Cancel()
+}
+
+// armRTO (re)starts the retransmission timer with the current backoff.
+func (s *Sender) armRTO() {
+	d := s.e.p.RTO << s.rtoShift
+	if d > s.e.p.RTOMax {
+		d = s.e.p.RTOMax
+	}
+	s.rtoEv.Cancel()
+	s.rtoEv = s.e.host.Net().Sim.ScheduleHandler(d, s, evRTO)
+}

@@ -1,0 +1,172 @@
+package exp
+
+import (
+	"sort"
+	"testing"
+)
+
+// The headline acceptance scenario: a DCQCN FCT run with 0.1% data loss
+// and 1% feedback (CNP/ack/NACK) loss, go-back-N recovery on. Every flow
+// must finish, goodput must be positive, losses must actually have been
+// injected and repaired, and the same seeds must reproduce the run
+// exactly.
+func TestFCTLossyDCQCNAcceptance(t *testing.T) {
+	run := func() *FCTResult {
+		r, err := RunFCT(FCTConfig{
+			Protocol: ProtoDCQCN, LoadFactor: 0.5,
+			Horizon: 0.1, Warmup: 0, Drain: 0.4, Seed: 7,
+			DataLossRate: 0.001, CtrlLossRate: 0.01, FaultSeed: 42,
+			Recovery: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r := run()
+	if r.Completed != r.Generated || r.Unfinished != 0 {
+		t.Fatalf("%d/%d flows completed under loss (unfinished %d)",
+			r.Completed, r.Generated, r.Unfinished)
+	}
+	if r.Goodput <= 0 {
+		t.Fatalf("goodput %d, want > 0", r.Goodput)
+	}
+	if r.WireDrops == 0 {
+		t.Fatal("fault plan injected no losses")
+	}
+	if r.RetxBytes == 0 {
+		t.Fatal("losses were injected but nothing was retransmitted")
+	}
+	if r.Goodput > r.RawTxBytes {
+		t.Fatalf("goodput %d exceeds carried bytes %d", r.Goodput, r.RawTxBytes)
+	}
+
+	s := run()
+	if r.Goodput != s.Goodput || r.RetxBytes != s.RetxBytes ||
+		r.WireDrops != s.WireDrops || r.Completed != s.Completed ||
+		r.RecoveryTime != s.RecoveryTime {
+		t.Fatalf("same seeds diverged:\n%+v\nvs\n%+v", headline(r), headline(s))
+	}
+	a, b := append([]float64(nil), r.AllFCT...), append([]float64(nil), s.AllFCT...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	if len(a) != len(b) {
+		t.Fatalf("FCT sample counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("FCT %d differs across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func headline(r *FCTResult) map[string]int64 {
+	return map[string]int64{
+		"goodput": r.Goodput, "retx": r.RetxBytes, "drops": r.WireDrops,
+		"completed": int64(r.Completed),
+	}
+}
+
+// With every fault knob zero the new machinery must be inert: no drops,
+// no retransmissions, and the FaultSeed must not leak into the run.
+func TestFCTFaultFieldsInertWhenZero(t *testing.T) {
+	run := func(faultSeed int64) *FCTResult {
+		r, err := RunFCT(FCTConfig{
+			Protocol: ProtoDCQCN, LoadFactor: 0.5,
+			Horizon: 0.08, Warmup: 0, Drain: 0.3, Seed: 3,
+			FaultSeed: faultSeed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r := run(1)
+	if r.WireDrops != 0 || r.BufferDrops != 0 || r.RetxBytes != 0 || r.RecoveryTime != 0 {
+		t.Fatalf("fault-free run reports fault work: %+v", headline(r))
+	}
+	if r.Completed != r.Generated {
+		t.Fatalf("%d/%d flows completed", r.Completed, r.Generated)
+	}
+	s := run(99)
+	if r.Goodput != s.Goodput || len(r.AllFCT) != len(s.AllFCT) {
+		t.Fatal("FaultSeed changed a run with no faults configured")
+	}
+	for i := range r.AllFCT {
+		if r.AllFCT[i] != s.AllFCT[i] {
+			t.Fatalf("FCT %d differs with unused FaultSeed: %v vs %v", i, r.AllFCT[i], s.AllFCT[i])
+		}
+	}
+}
+
+// Finite switch buffers without PFC: overflow tail-drops must be counted
+// and recovery must still finish every flow.
+func TestFCTFiniteBufferTailDrops(t *testing.T) {
+	r, err := RunFCT(FCTConfig{
+		Protocol: ProtoDCQCN, LoadFactor: 0.8,
+		Horizon: 0.08, Warmup: 0, Drain: 0.4, Seed: 5,
+		Recovery:       true,
+		SwitchQueueCap: 30000, // ~20 MTU — small enough that bursts overflow
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BufferDrops == 0 {
+		t.Fatal("30KB switch buffers at load 0.8 should tail-drop")
+	}
+	if r.Completed != r.Generated {
+		t.Fatalf("%d/%d flows completed after tail drops", r.Completed, r.Generated)
+	}
+}
+
+// The registered fault runners at Quick scale: recovery keeps everything
+// finishing, and the degradation metrics move the right way.
+func TestFaultRunnerShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sims skipped in -short mode")
+	}
+	o := Options{Scale: Quick, Seed: 1}
+
+	t.Run("faultloss", func(t *testing.T) {
+		rep, err := mustRun(t, "faultloss", o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, proto := range []string{"DCQCN", "TIMELY"} {
+			for _, loss := range []string{"0", "0.001", "0.01"} {
+				key := proto + "_loss" + loss
+				if n := rep.Metrics["unfinished_"+key]; n != 0 {
+					t.Errorf("%s: %v flows unfinished, recovery should finish all", key, n)
+				}
+			}
+			if rep.Metrics["retx_kb_"+proto+"_loss0"] != 0 {
+				t.Errorf("%s retransmitted without loss", proto)
+			}
+			if rep.Metrics["retx_kb_"+proto+"_loss0.01"] == 0 {
+				t.Errorf("%s: 1%% loss produced no retransmissions", proto)
+			}
+			if rep.Metrics["efficiency_"+proto+"_loss0.01"] >= rep.Metrics["efficiency_"+proto+"_loss0"] {
+				t.Errorf("%s: efficiency did not fall with loss (%v vs %v)", proto,
+					rep.Metrics["efficiency_"+proto+"_loss0.01"],
+					rep.Metrics["efficiency_"+proto+"_loss0"])
+			}
+		}
+	})
+
+	t.Run("faultcnp", func(t *testing.T) {
+		rep, err := mustRun(t, "faultcnp", o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Starving the control loop of CNPs must push the queue's
+		// operating point up; the precise factor is seed-dependent.
+		clean, starved := rep.Metrics["q_mean_kb_loss0"], rep.Metrics["q_mean_kb_loss0.9"]
+		if starved <= clean {
+			t.Errorf("queue mean with 90%% CNP loss %v KB not above clean %v KB", starved, clean)
+		}
+		if rep.Metrics["q_max_kb_loss0.9"] <= rep.Metrics["q_max_kb_loss0"] {
+			t.Errorf("queue max with 90%% CNP loss %v KB not above clean %v KB",
+				rep.Metrics["q_max_kb_loss0.9"], rep.Metrics["q_max_kb_loss0"])
+		}
+	})
+}

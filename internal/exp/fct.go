@@ -5,6 +5,7 @@ import (
 
 	"ecndelay/internal/dcqcn"
 	"ecndelay/internal/des"
+	"ecndelay/internal/fault"
 	"ecndelay/internal/netsim"
 	"ecndelay/internal/stats"
 	"ecndelay/internal/timely"
@@ -57,6 +58,19 @@ type FCTConfig struct {
 	TimelyGradClamp float64
 	// QueueSampleEvery controls bottleneck queue monitoring (default 100µs).
 	QueueSampleEvery des.Duration
+
+	// Fault injection and loss recovery. All-zero means a fault-free run
+	// that is bit-identical to the pre-fault revision of this experiment.
+	DataLossRate float64 // i.i.d. drop probability for data on the forward trunk
+	CtrlLossRate float64 // i.i.d. drop probability for acks/NACKs/CNPs on the reverse trunk
+	FaultSeed    int64   // seed for the loss draws, independent of Seed
+	// Recovery enables go-back-N loss recovery at every endpoint; without
+	// it a single lost data packet permanently wedges its flow.
+	Recovery bool
+	RTO      des.Duration // retransmission timeout under Recovery (0: protocol default)
+	// SwitchQueueCap bounds every switch egress queue in bytes (0:
+	// unbounded, the lossless default); overflow tail-drops.
+	SwitchQueueCap int
 }
 
 // FCTResult aggregates one run.
@@ -69,6 +83,18 @@ type FCTResult struct {
 	// Utilisation is delivered bottleneck bytes over capacity×time in
 	// [Warmup, Horizon].
 	Utilisation float64
+
+	// Degradation metrics — what the injected faults cost the run. All
+	// zero on a fault-free, recovery-off run.
+	WireDrops   int64 // packets destroyed by injected loss or downed links
+	BufferDrops int64 // packets tail-dropped by finite switch buffers
+	RetxBytes   int64 // bytes retransmitted by go-back-N
+	Goodput     int64 // in-order payload bytes delivered at the receivers
+	RawTxBytes  int64 // bytes the bottleneck trunk carried (retransmissions included)
+	// RecoveryTime is total sender-seconds spent inside recovery episodes
+	// (first rewind until the cumulative ack catches the high-water mark).
+	RecoveryTime float64
+	Unfinished   int // flows generated but never completed
 }
 
 // RunFCT executes the experiment.
@@ -99,9 +125,30 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 	}
 	d := netsim.NewDumbbell(nw, netsim.DumbbellConfig{
 		Senders: cfg.Senders, Receivers: cfg.Receivers,
-		Link: netsim.LinkConfig{Bandwidth: linkBW, PropDelay: des.Microsecond},
-		Mark: marker,
+		Link:           netsim.LinkConfig{Bandwidth: linkBW, PropDelay: des.Microsecond},
+		Mark:           marker,
+		SwitchQueueCap: cfg.SwitchQueueCap,
 	})
+
+	// Loss on the trunk: data forward, protocol feedback on the way back.
+	// A nil plan keeps the run byte-identical to a fault-free one.
+	var applied *fault.Applied
+	if cfg.DataLossRate > 0 || cfg.CtrlLossRate > 0 {
+		plan := &fault.Plan{Seed: cfg.FaultSeed}
+		if cfg.DataLossRate > 0 {
+			plan.Links = append(plan.Links, fault.LinkFaults{
+				Port: d.Bottleneck,
+				Loss: []fault.Loss{{Kinds: fault.SelData, Rate: cfg.DataLossRate}},
+			})
+		}
+		if cfg.CtrlLossRate > 0 {
+			plan.Links = append(plan.Links, fault.LinkFaults{
+				Port: d.Reverse,
+				Loss: []fault.Loss{{Kinds: fault.SelCtrl, Rate: cfg.CtrlLossRate}},
+			})
+		}
+		applied = plan.Apply(nw)
+	}
 
 	flows, err := workload.Generate(workload.Config{
 		Load:    cfg.LoadFactor * 1e9, // load 1.0 = 8 Gb/s = 1e9 B/s
@@ -137,10 +184,15 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 		}
 	}
 
-	// Attach protocol endpoints and schedule the flows.
+	// Attach protocol endpoints and schedule the flows. gatherFaultStats
+	// is filled per protocol so the end of the run can sum goodput and
+	// recovery work without holding protocol types here.
+	var gatherFaultStats func()
 	switch cfg.Protocol {
 	case ProtoDCQCN:
 		params := dcqcn.DefaultParams()
+		params.Recovery = cfg.Recovery
+		params.RTO = cfg.RTO
 		var eps []*dcqcn.Endpoint
 		for _, h := range d.Senders {
 			ep, err := dcqcn.NewEndpoint(h, params)
@@ -149,17 +201,32 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 			}
 			eps = append(eps, ep)
 		}
+		var rxEps []*dcqcn.Endpoint
 		for _, h := range d.Receivers {
 			ep, err := dcqcn.NewEndpoint(h, params)
 			if err != nil {
 				return nil, err
 			}
 			ep.OnComplete = func(c dcqcn.Completion) { complete(c.Flow, c.At) }
+			rxEps = append(rxEps, ep)
 		}
+		var senders []*dcqcn.Sender
 		for _, f := range flows {
-			if _, err := eps[f.Sender].NewFlow(f.ID, d.Receivers[f.Recv].ID(),
-				f.Size, des.Time(des.DurationFromSeconds(f.Start))); err != nil {
+			s, err := eps[f.Sender].NewFlow(f.ID, d.Receivers[f.Recv].ID(),
+				f.Size, des.Time(des.DurationFromSeconds(f.Start)))
+			if err != nil {
 				return nil, err
+			}
+			senders = append(senders, s)
+		}
+		gatherFaultStats = func() {
+			for _, ep := range rxEps {
+				res.Goodput += ep.TotalRxBytes()
+			}
+			for _, s := range senders {
+				st := s.Recovery()
+				res.RetxBytes += st.RetxBytes
+				res.RecoveryTime += st.RecoveryTime.Seconds()
 			}
 		}
 	case ProtoTimely, ProtoPatchedTimely:
@@ -175,6 +242,8 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 		}
 		params.HAI = cfg.TimelyHAI
 		params.GradClamp = cfg.TimelyGradClamp
+		params.Recovery = cfg.Recovery
+		params.RTO = cfg.RTO
 		var eps []*timely.Endpoint
 		for _, h := range d.Senders {
 			ep, err := timely.NewEndpoint(h, params)
@@ -183,17 +252,32 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 			}
 			eps = append(eps, ep)
 		}
+		var rxEps []*timely.Endpoint
 		for _, h := range d.Receivers {
 			ep, err := timely.NewEndpoint(h, params)
 			if err != nil {
 				return nil, err
 			}
 			ep.OnComplete = func(c timely.Completion) { complete(c.Flow, c.At) }
+			rxEps = append(rxEps, ep)
 		}
+		var senders []*timely.Sender
 		for _, f := range flows {
-			if _, err := eps[f.Sender].NewFlow(f.ID, d.Receivers[f.Recv].ID(),
-				f.Size, des.Time(des.DurationFromSeconds(f.Start)), 0); err != nil {
+			s, err := eps[f.Sender].NewFlow(f.ID, d.Receivers[f.Recv].ID(),
+				f.Size, des.Time(des.DurationFromSeconds(f.Start)), 0)
+			if err != nil {
 				return nil, err
+			}
+			senders = append(senders, s)
+		}
+		gatherFaultStats = func() {
+			for _, ep := range rxEps {
+				res.Goodput += ep.TotalRxBytes()
+			}
+			for _, s := range senders {
+				st := s.Recovery()
+				res.RetxBytes += st.RetxBytes
+				res.RecoveryTime += st.RecoveryTime.Seconds()
 			}
 		}
 	default:
@@ -206,5 +290,16 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 	nw.Sim.At(des.Time(des.DurationFromSeconds(cfg.Horizon)), func() { txAtEnd = d.Bottleneck.TxBytes })
 	nw.Sim.RunUntil(des.Time(des.DurationFromSeconds(cfg.Horizon + cfg.Drain)))
 	res.Utilisation = float64(txAtEnd-txAtWarm) / (linkBW * (cfg.Horizon - cfg.Warmup))
+	res.Unfinished = res.Generated - res.Completed
+	res.RawTxBytes = d.Bottleneck.TxBytes
+	gatherFaultStats()
+	if applied != nil {
+		res.WireDrops = applied.Drops()
+	}
+	for _, sw := range []*netsim.Switch{d.SW1, d.SW2} {
+		for _, p := range sw.Ports() {
+			res.BufferDrops += p.Queue().Drops()
+		}
+	}
 	return res, nil
 }

@@ -1,0 +1,285 @@
+// Package fault injects failures into netsim networks: random and bursty
+// packet loss, and link flaps. RoCE deployments assume a lossless fabric —
+// the paper's protocols were designed with PFC underneath them — so the
+// interesting robustness questions are exactly what happens when that
+// assumption breaks: a flaky optic dropping data packets, a congested
+// management path losing CNPs, a link that bounces.
+//
+// Everything is declarative and seeded: a Plan lists per-link loss rules
+// and flap schedules, Apply installs them, and the injector draws from its
+// own splitmix64-derived RNG — never the network's — so two runs of the
+// same plan drop the same packets, and a run with no plan (or an empty
+// one) is bit-identical to a build where this package does not exist.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ecndelay/internal/des"
+	"ecndelay/internal/netsim"
+)
+
+// Selector is a bitmask choosing which packet kinds a loss rule applies
+// to. Separating data from feedback matters: the paper's control loops
+// react very differently to losing payload (retransmit, stall) than to
+// losing the CNP/ACK signal that drives the rate computation.
+type Selector uint8
+
+// Selector bits, one per wire kind, plus the common unions.
+const (
+	SelData Selector = 1 << iota
+	SelAck
+	SelCNP
+	SelNack
+	SelPFC // PAUSE and RESUME frames
+
+	SelCtrl = SelAck | SelCNP | SelNack // protocol feedback
+	SelAll  = SelData | SelCtrl | SelPFC
+)
+
+// Matches reports whether the selector covers the packet kind.
+func (s Selector) Matches(k netsim.Kind) bool {
+	switch k {
+	case netsim.Data:
+		return s&SelData != 0
+	case netsim.Ack:
+		return s&SelAck != 0
+	case netsim.CNP:
+		return s&SelCNP != 0
+	case netsim.Nack:
+		return s&SelNack != 0
+	case netsim.Pause, netsim.Resume:
+		return s&SelPFC != 0
+	}
+	return false
+}
+
+// GilbertElliott parameterises the classic two-state burst-loss channel: a
+// Good and a Bad state with per-packet transition probabilities and a loss
+// probability in each state. Bursty loss is the realistic regime for
+// optics and marginal cables — and it stresses go-back-N far harder than
+// the same average rate spread i.i.d.
+type GilbertElliott struct {
+	PGB      float64 // P(Good → Bad) per packet
+	PBG      float64 // P(Bad → Good) per packet
+	LossGood float64 // loss probability in Good (often 0)
+	LossBad  float64 // loss probability in Bad (often 1)
+}
+
+// Loss is one loss rule on a link: the kinds it applies to and either an
+// i.i.d. rate or a Gilbert–Elliott burst model (Burst non-nil wins). The
+// first rule on a link that matches a packet's kind decides its fate.
+type Loss struct {
+	Kinds Selector
+	Rate  float64
+	Burst *GilbertElliott
+}
+
+// Flap takes a link down at DownAt and back up at UpAt. UpAt of zero means
+// the link never recovers. While down the port refuses to transmit and
+// in-flight packets are lost (netsim.Port.SetLinkDown semantics).
+type Flap struct {
+	DownAt des.Time
+	UpAt   des.Time
+}
+
+// LinkFaults attaches loss rules and a flap schedule to one port (one
+// direction of a link — fault both ports for a symmetric failure).
+type LinkFaults struct {
+	Port  *netsim.Port
+	Loss  []Loss
+	Flaps []Flap
+}
+
+// Plan is a complete fault scenario. The zero value (or a nil pointer) is
+// the healthy network; Apply of such a plan installs nothing.
+type Plan struct {
+	// Seed drives every loss draw. Each link's injector gets an
+	// independent stream derived from (Seed, link index), so adding a
+	// faulty link never reshuffles the losses on another.
+	Seed  int64
+	Links []LinkFaults
+}
+
+// Validate reports the first configuration error, or nil.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, lf := range p.Links {
+		if lf.Port == nil {
+			return fmt.Errorf("fault: link %d has no port", i)
+		}
+		for j, l := range lf.Loss {
+			if l.Kinds == 0 {
+				return fmt.Errorf("fault: link %d loss %d selects no kinds", i, j)
+			}
+			if l.Burst != nil {
+				for _, v := range []float64{l.Burst.PGB, l.Burst.PBG, l.Burst.LossGood, l.Burst.LossBad} {
+					if v < 0 || v > 1 {
+						return fmt.Errorf("fault: link %d loss %d burst probability %v outside [0,1]", i, j, v)
+					}
+				}
+			} else if l.Rate < 0 || l.Rate > 1 {
+				return fmt.Errorf("fault: link %d loss %d rate %v outside [0,1]", i, j, l.Rate)
+			}
+		}
+		for j, f := range lf.Flaps {
+			if f.UpAt != 0 && f.UpAt <= f.DownAt {
+				return fmt.Errorf("fault: link %d flap %d comes up at %v, not after down at %v",
+					i, j, f.UpAt, f.DownAt)
+			}
+		}
+	}
+	return nil
+}
+
+// Applied is a live fault scenario: it exposes injection counters and can
+// tear the hooks back down.
+type Applied struct {
+	plan      *Plan
+	injectors []*injector // parallel to plan.Links; nil where no loss rules
+}
+
+// Apply installs the plan on the network: loss hooks on each faulted port
+// and flap transitions on the simulator clock. It panics on an invalid
+// plan (a programming error, like a bad topology). Applying a nil or empty
+// plan is a no-op that leaves the network untouched.
+func (p *Plan) Apply(nw *netsim.Network) *Applied {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	a := &Applied{plan: p}
+	if p == nil {
+		return a
+	}
+	a.injectors = make([]*injector, len(p.Links))
+	for i, lf := range p.Links {
+		if len(lf.Loss) > 0 {
+			in := newInjector(deriveSeed(p.Seed, i), lf.Loss)
+			lf.Port.SetFaultHook(in)
+			a.injectors[i] = in
+		}
+		for _, f := range lf.Flaps {
+			port := lf.Port
+			nw.Sim.At(f.DownAt, func() { port.SetLinkDown(true) })
+			if f.UpAt != 0 {
+				nw.Sim.At(f.UpAt, func() { port.SetLinkDown(false) })
+			}
+		}
+	}
+	return a
+}
+
+// Remove uninstalls the loss hooks (already-scheduled flaps still fire;
+// cancel them by not running the simulator past their times).
+func (a *Applied) Remove() {
+	for i, in := range a.injectors {
+		if in != nil {
+			a.plan.Links[i].Port.SetFaultHook(nil)
+		}
+	}
+}
+
+// Drops reports the total packets dropped by loss injection across all
+// links (flap losses are counted by each port's WireDrops instead).
+func (a *Applied) Drops() int64 {
+	var n int64
+	for _, in := range a.injectors {
+		if in != nil {
+			n += in.total
+		}
+	}
+	return n
+}
+
+// LinkDrops reports injected losses on link i of the plan.
+func (a *Applied) LinkDrops(i int) int64 {
+	if in := a.injectors[i]; in != nil {
+		return in.total
+	}
+	return 0
+}
+
+// deriveSeed maps (base, index) to a well-mixed per-link seed via the
+// splitmix64 finalizer (same construction as sweep.DeriveSeed, copied to
+// keep the dependency arrow pointing one way).
+func deriveSeed(base int64, index int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(index+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// injector implements netsim.FaultHook for one port. It owns a private
+// RNG: loss draws must not advance the network RNG, or enabling faults
+// would perturb ECN marking and jitter in otherwise-identical runs.
+type injector struct {
+	rng   *rand.Rand
+	rules []lossRule
+	total int64
+}
+
+type lossRule struct {
+	sel   Selector
+	rate  float64
+	ge    *geState
+	drops int64
+}
+
+// geState is the running Gilbert–Elliott channel state for one rule.
+type geState struct {
+	GilbertElliott
+	bad bool
+}
+
+func newInjector(seed int64, rules []Loss) *injector {
+	in := &injector{rng: rand.New(rand.NewSource(seed))}
+	for _, l := range rules {
+		r := lossRule{sel: l.Kinds, rate: l.Rate}
+		if l.Burst != nil {
+			r.ge = &geState{GilbertElliott: *l.Burst}
+		}
+		in.rules = append(in.rules, r)
+	}
+	return in
+}
+
+// DropTx implements netsim.FaultHook: the first rule matching the packet's
+// kind decides. Burst rules advance their channel state on every matching
+// packet — dropped or not — so the burst structure is a property of the
+// channel, not of what happens to ride over it.
+func (in *injector) DropTx(pkt *netsim.Packet) bool {
+	for i := range in.rules {
+		r := &in.rules[i]
+		if !r.sel.Matches(pkt.Kind) {
+			continue
+		}
+		p := r.rate
+		if r.ge != nil {
+			g := r.ge
+			if g.bad {
+				if in.rng.Float64() < g.PBG {
+					g.bad = false
+				}
+			} else {
+				if in.rng.Float64() < g.PGB {
+					g.bad = true
+				}
+			}
+			if g.bad {
+				p = g.LossBad
+			} else {
+				p = g.LossGood
+			}
+		}
+		if p >= 1 || (p > 0 && in.rng.Float64() < p) {
+			r.drops++
+			in.total++
+			return true
+		}
+		return false
+	}
+	return false
+}

@@ -62,6 +62,16 @@ func (nw *Network) NextPacketID() uint64 {
 	return nw.pktID
 }
 
+// FaultHook intercepts packets leaving a port; internal/fault installs
+// implementations via SetFaultHook. DropTx is consulted once per packet at
+// the end of serialisation: returning true loses the packet on the wire
+// (it consumed link bandwidth but is never delivered). A nil hook — the
+// default — leaves the transmit path exactly as it was, so fault-free runs
+// are bit-identical with the fault subsystem compiled in.
+type FaultHook interface {
+	DropTx(pkt *Packet) bool
+}
+
 // Port is a unidirectional attachment point: it owns the egress queue
 // toward a fixed peer and models serialisation (Bandwidth) plus propagation
 // (PropDelay). PFC pauses stop new transmissions; the in-flight packet
@@ -94,6 +104,12 @@ type Port struct {
 	txPkt  *Packet // in-flight packet being serialised (busy == true)
 	busy   bool
 	paused bool
+
+	// Fault-injection state (inert unless internal/fault wires it up).
+	hook      FaultHook
+	down      bool  // link flap: refuses tx and drops deliveries
+	wireDrops int64 // packets lost on the wire (fault hook or flap)
+	watch     *watchedPort
 
 	// TxBytes counts payload transmitted, for utilisation accounting.
 	TxBytes int64
@@ -134,9 +150,40 @@ func (p *Port) Peer() Node { return p.peer }
 // Paused reports the PFC pause state.
 func (p *Port) Paused() bool { return p.paused }
 
+// SetFaultHook installs (or, with nil, removes) the packet-loss hook for
+// this port. Normally called through a fault.Plan rather than directly.
+func (p *Port) SetFaultHook(h FaultHook) { p.hook = h }
+
+// SetLinkDown flaps the link: a down port refuses new transmissions and
+// every packet that would land at the peer while the link is down is lost
+// (the in-flight contents of the wire die with the link). Bringing the
+// link back up restarts the transmitter.
+func (p *Port) SetLinkDown(down bool) {
+	p.down = down
+	if !down {
+		p.tryTx()
+	}
+}
+
+// LinkDown reports whether the link is flapped down.
+func (p *Port) LinkDown() bool { return p.down }
+
+// WireDrops reports packets lost on the wire by fault injection or link
+// flaps (tail drops at the finite egress queue are counted separately, by
+// Queue.Drops).
+func (p *Port) WireDrops() int64 { return p.wireDrops }
+
 // Send enqueues pkt for transmission and starts the transmitter if idle.
+// A tail drop at a finite queue releases the switch's PFC accounting for
+// the packet and recycles it.
 func (p *Port) Send(pkt *Packet) {
-	p.queue.Push(pkt)
+	if !p.queue.Push(pkt) {
+		if p.ownerSwitch != nil {
+			p.ownerSwitch.departed(pkt)
+		}
+		p.net.FreePacket(pkt)
+		return
+	}
 	p.tryTx()
 }
 
@@ -147,23 +194,49 @@ func (p *Port) SendDirect(pkt *Packet) {
 	p.net.Sim.ScheduleHandler(p.PropDelay, p, pkt)
 }
 
-// pause and unpause implement PFC flow control on this port.
-func (p *Port) pause()   { p.paused = true }
-func (p *Port) unpause() { p.paused = false; p.tryTx() }
+// pause and unpause implement PFC flow control on this port. Both are
+// idempotent — repeated PAUSE (pause-while-paused) or RESUME frames are
+// absorbed — and they notify the PFC watchdog, when one is attached, only
+// on genuine state transitions.
+func (p *Port) pause() {
+	if p.paused {
+		return
+	}
+	p.paused = true
+	if p.watch != nil {
+		p.watch.onPause()
+	}
+}
+
+func (p *Port) unpause() {
+	if p.paused {
+		p.paused = false
+		if p.watch != nil {
+			p.watch.onUnpause()
+		}
+	}
+	p.tryTx()
+}
 
 // OnEvent implements des.Handler: a nil argument is the serialisation-done
 // tick for the in-flight packet; a *Packet argument is a delivery landing at
-// the peer after propagation.
+// the peer after propagation (lost instead if the link is flapped down).
 func (p *Port) OnEvent(arg any) {
 	if arg == nil {
 		p.txDone()
 		return
 	}
-	p.peer.Receive(arg.(*Packet))
+	pkt := arg.(*Packet)
+	if p.down {
+		p.wireDrops++
+		p.net.FreePacket(pkt)
+		return
+	}
+	p.peer.Receive(pkt)
 }
 
 func (p *Port) tryTx() {
-	if p.busy || p.paused || p.queue.Len() == 0 {
+	if p.busy || p.paused || p.down || p.queue.Len() == 0 {
 		return
 	}
 	pkt := p.queue.Pop()
@@ -175,13 +248,22 @@ func (p *Port) tryTx() {
 }
 
 // txDone finishes serialising the in-flight packet: release PFC accounting,
-// launch the propagation-delay delivery, and start on the next queued packet.
+// consult the fault hook, launch the propagation-delay delivery, and start
+// on the next queued packet. A packet the fault layer drops (or that was
+// being serialised when the link flapped down) consumed its serialisation
+// time and TxBytes — it burned link bandwidth — but is never delivered.
 func (p *Port) txDone() {
 	pkt := p.txPkt
 	p.txPkt = nil
 	p.busy = false
 	if p.ownerSwitch != nil {
 		p.ownerSwitch.departed(pkt)
+	}
+	if p.down || (p.hook != nil && p.hook.DropTx(pkt)) {
+		p.wireDrops++
+		p.net.FreePacket(pkt)
+		p.tryTx()
+		return
 	}
 	delay := p.PropDelay
 	if pkt.Kind.Control() && pkt.Kind != Pause && pkt.Kind != Resume {

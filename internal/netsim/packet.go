@@ -6,14 +6,17 @@ import "ecndelay/internal/des"
 type Kind uint8
 
 // Packet kinds. Data carries flow payload; Ack is TIMELY's completion
-// event; CNP is DCQCN's congestion notification; Pause/Resume are PFC
-// control frames.
+// event (and, with loss recovery enabled, a cumulative acknowledgement);
+// CNP is DCQCN's congestion notification; Pause/Resume are PFC control
+// frames; Nack is the go-back-N gap report carrying the receiver's next
+// expected byte offset in Seq.
 const (
 	Data Kind = iota
 	Ack
 	CNP
 	Pause
 	Resume
+	Nack
 )
 
 func (k Kind) String() string {
@@ -28,6 +31,8 @@ func (k Kind) String() string {
 		return "PAUSE"
 	case Resume:
 		return "RESUME"
+	case Nack:
+		return "NACK"
 	}
 	return "?"
 }
@@ -60,7 +65,7 @@ type Packet struct {
 	ECT bool // ECN-capable transport
 	CE  bool // congestion experienced
 
-	Seq    int64    // first payload byte offset (Data)
+	Seq    int64    // first payload byte offset (Data); cumulative-ack offset (Ack/Nack)
 	Last   bool     // last packet of its flow (Data)
 	AckReq bool     // completion event requested (TIMELY segment end)
 	SentAt des.Time // stamped by the sender when handed to the NIC

@@ -7,13 +7,19 @@ import (
 )
 
 // Queue is a byte-accounted FIFO of packets with an attached ECN marking
-// policy. It never drops: the RoCEv2 setting the paper studies is drop-free
-// (PFC backpressure, not loss, handles overload).
+// policy. By default it never drops: the RoCEv2 setting the paper studies
+// is drop-free (PFC backpressure, not loss, handles overload). An optional
+// byte capacity (SetCapBytes) turns it into a finite shared-buffer egress
+// that tail-drops — the regime where PFC is disabled or its thresholds are
+// misconfigured.
 type Queue struct {
-	pkts  []*Packet
-	head  int
-	bytes int
-	mark  Marker
+	pkts     []*Packet
+	head     int
+	bytes    int
+	capBytes int // 0: unbounded
+	drops    int64
+	dropped  int64 // bytes
+	mark     Marker
 }
 
 // NewQueue builds a queue with the given marking policy (nil means no
@@ -28,10 +34,32 @@ func (q *Queue) Len() int { return len(q.pkts) - q.head }
 // Bytes reports the queued payload in bytes.
 func (q *Queue) Bytes() int { return q.bytes }
 
+// SetCapBytes bounds the queue at c buffered bytes; 0 restores the default
+// unbounded (lossless) behaviour. A non-empty queue tail-drops arrivals
+// that would exceed the capacity; an empty queue always admits one packet,
+// so a capacity below the MTU degrades rather than blackholes a link.
+func (q *Queue) SetCapBytes(c int) { q.capBytes = c }
+
+// CapBytes reports the configured capacity (0: unbounded).
+func (q *Queue) CapBytes() int { return q.capBytes }
+
+// Drops reports the number of packets tail-dropped at this queue.
+func (q *Queue) Drops() int64 { return q.drops }
+
+// DroppedBytes reports the payload bytes tail-dropped at this queue.
+func (q *Queue) DroppedBytes() int64 { return q.dropped }
+
 // Push appends a packet, applying enqueue-time marking if the policy asks
 // for it (the "ingress marking" ablation of Figure 17). The marker sees the
 // queue state at the instant of arrival, with the arriving packet included.
-func (q *Queue) Push(pkt *Packet) {
+// It reports false when the packet was tail-dropped instead (finite
+// capacity exceeded); the caller keeps ownership of a dropped packet.
+func (q *Queue) Push(pkt *Packet) bool {
+	if q.capBytes > 0 && q.bytes+pkt.Size > q.capBytes && q.Len() > 0 {
+		q.drops++
+		q.dropped += int64(pkt.Size)
+		return false
+	}
 	q.pkts = append(q.pkts, pkt)
 	q.bytes += pkt.Size
 	if q.mark != nil && q.mark.AtEnqueue() {
@@ -43,6 +71,7 @@ func (q *Queue) Push(pkt *Packet) {
 		q.pkts = q.pkts[:n]
 		q.head = 0
 	}
+	return true
 }
 
 // Pop removes the packet at the head, applying departure-time marking

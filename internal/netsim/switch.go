@@ -55,6 +55,10 @@ func (sw *Switch) AddPort(peer Node, bandwidth float64, prop des.Duration, m Mar
 // Port returns the port at index i.
 func (sw *Switch) Port(i int) *Port { return sw.ports[i] }
 
+// Ports returns the switch's egress ports (the live slice; treat as
+// read-only). Useful for summing per-port drop counters.
+func (sw *Switch) Ports() []*Port { return sw.ports }
+
 // SetRoute directs traffic for host dst out of port index i.
 func (sw *Switch) SetRoute(dst, portIndex int) {
 	if portIndex < 0 || portIndex >= len(sw.ports) {

@@ -36,6 +36,10 @@ type StarConfig struct {
 	CtrlExtraDelay des.Duration
 	CtrlJitterMax  des.Duration
 	PFC            PFCConfig
+	// SwitchQueueCap bounds every switch egress queue in bytes (0:
+	// unbounded, the lossless default). Finite buffers tail-drop — the
+	// misconfigured-fabric regime of the fault experiments.
+	SwitchQueueCap int
 }
 
 // NewStar wires the topology.
@@ -54,12 +58,14 @@ func NewStar(nw *Network, cfg StarConfig) *Star {
 		idx := s.Switch.AddPort(h, cfg.Link.Bandwidth, cfg.Link.PropDelay, mark())
 		s.Switch.Port(idx).CtrlExtraDelay = cfg.CtrlExtraDelay
 		s.Switch.Port(idx).CtrlJitterMax = cfg.CtrlJitterMax
+		s.Switch.Port(idx).Queue().SetCapBytes(cfg.SwitchQueueCap)
 		s.Switch.SetRoute(h.ID(), idx)
 		s.Senders = append(s.Senders, h)
 	}
 	s.Receiver = nw.NewHost()
 	s.Receiver.Connect(s.Switch, cfg.Link.Bandwidth, cfg.Link.PropDelay, nil)
 	ri := s.Switch.AddPort(s.Receiver, cfg.Link.Bandwidth, cfg.Link.PropDelay, mark())
+	s.Switch.Port(ri).Queue().SetCapBytes(cfg.SwitchQueueCap)
 	s.Switch.SetRoute(s.Receiver.ID(), ri)
 	s.Bottleneck = s.Switch.Port(ri)
 	return s
@@ -73,6 +79,7 @@ type Dumbbell struct {
 	Receivers  []*Host
 	SW1, SW2   *Switch
 	Bottleneck *Port // SW1's port toward SW2
+	Reverse    *Port // SW2's port toward SW1 (the feedback path)
 }
 
 // DumbbellConfig parameterises NewDumbbell.
@@ -90,6 +97,9 @@ type DumbbellConfig struct {
 	// the receiver egress ports, the regime where PFC head-of-line
 	// blocking appears.
 	TrunkBandwidth float64
+	// SwitchQueueCap bounds every switch egress queue in bytes (0:
+	// unbounded, the lossless default).
+	SwitchQueueCap int
 }
 
 // NewDumbbell wires the topology.
@@ -108,6 +118,7 @@ func NewDumbbell(nw *Network, cfg DumbbellConfig) *Dumbbell {
 		h.Connect(d.SW1, cfg.Link.Bandwidth, cfg.Link.PropDelay, nil)
 		idx := d.SW1.AddPort(h, cfg.Link.Bandwidth, cfg.Link.PropDelay, mark())
 		d.SW1.Port(idx).CtrlJitterMax = cfg.CtrlJitterMax
+		d.SW1.Port(idx).Queue().SetCapBytes(cfg.SwitchQueueCap)
 		d.SW1.SetRoute(h.ID(), idx)
 		d.Senders = append(d.Senders, h)
 	}
@@ -115,6 +126,7 @@ func NewDumbbell(nw *Network, cfg DumbbellConfig) *Dumbbell {
 		h := nw.NewHost()
 		h.Connect(d.SW2, cfg.Link.Bandwidth, cfg.Link.PropDelay, nil)
 		idx := d.SW2.AddPort(h, cfg.Link.Bandwidth, cfg.Link.PropDelay, mark())
+		d.SW2.Port(idx).Queue().SetCapBytes(cfg.SwitchQueueCap)
 		d.SW2.SetRoute(h.ID(), idx)
 		d.Receivers = append(d.Receivers, h)
 	}
@@ -126,6 +138,8 @@ func NewDumbbell(nw *Network, cfg DumbbellConfig) *Dumbbell {
 	i12 := d.SW1.AddPort(d.SW2, trunkBW, cfg.Link.PropDelay, mark())
 	i21 := d.SW2.AddPort(d.SW1, trunkBW, cfg.Link.PropDelay, mark())
 	d.SW2.Port(i21).CtrlJitterMax = cfg.CtrlJitterMax
+	d.SW1.Port(i12).Queue().SetCapBytes(cfg.SwitchQueueCap)
+	d.SW2.Port(i21).Queue().SetCapBytes(cfg.SwitchQueueCap)
 	for _, h := range d.Receivers {
 		d.SW1.SetRoute(h.ID(), i12)
 	}
@@ -133,5 +147,6 @@ func NewDumbbell(nw *Network, cfg DumbbellConfig) *Dumbbell {
 		d.SW2.SetRoute(h.ID(), i21)
 	}
 	d.Bottleneck = d.SW1.Port(i12)
+	d.Reverse = d.SW2.Port(i21)
 	return d
 }

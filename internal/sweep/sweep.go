@@ -76,6 +76,12 @@ type Result struct {
 	Metrics  map[string]float64 `json:"metrics,omitempty"`
 	Err      string             `json:"err,omitempty"`
 	Attempts int                `json:"attempts"`
+	// Retries is Attempts-1 — the attempts this job needed beyond its
+	// first. Panics counts the attempts that ended in a recovered panic
+	// (a subset of the failures). Both are zero on the happy path and
+	// omitted from the JSONL so fault-free checkpoints are unchanged.
+	Retries int `json:"retries,omitempty"`
+	Panics  int `json:"panics,omitempty"`
 }
 
 // Summary aggregates one engine invocation.
@@ -84,6 +90,8 @@ type Summary struct {
 	Executed int // jobs actually run (not resumed away)
 	Skipped  int // jobs the sink reported already completed
 	Failed   int // executed jobs whose final attempt errored
+	Retried  int // attempts beyond the first, summed over executed jobs
+	Panics   int // attempts that ended in a recovered panic
 	Elapsed  time.Duration
 }
 
@@ -167,6 +175,8 @@ func Run(cfg Config, jobs []Job, sink Sink) (Summary, error) {
 		if r.Err != "" {
 			sum.Failed++
 		}
+		sum.Retried += r.Retries
+		sum.Panics += r.Panics
 		prog.observe(r.Err != "")
 		if sink != nil && sinkErr == nil {
 			if err := sink.Write(r); err != nil {
@@ -192,16 +202,28 @@ func execute(cfg Config, job Job, index int) Result {
 	var lastErr error
 	for attempt := 1; attempt <= cfg.Retries+1; attempt++ {
 		res.Attempts = attempt
+		res.Retries = attempt - 1
 		m, err := runAttempt(job, res.Seed, cfg.Timeout)
 		if err == nil {
 			res.Metrics = m
 			return res
+		}
+		var pe *panicError
+		if errors.As(err, &pe) {
+			res.Panics++
 		}
 		lastErr = err
 	}
 	res.Err = lastErr.Error()
 	return res
 }
+
+// panicError marks an attempt that died in a recovered panic, so the
+// engine can count panics separately from ordinary job errors.
+type panicError struct{ err error }
+
+func (p *panicError) Error() string { return p.err.Error() }
+func (p *panicError) Unwrap() error { return p.err }
 
 // errTimeout marks an attempt that outran cfg.Timeout.
 var errTimeout = errors.New("sweep: job timed out")
@@ -217,7 +239,7 @@ func runAttempt(job Job, seed int64, timeout time.Duration) (map[string]float64,
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
-				ch <- outcome{err: fmt.Errorf("sweep: job %q panicked: %v", job.ID, r)}
+				ch <- outcome{err: &panicError{fmt.Errorf("sweep: job %q panicked: %v", job.ID, r)}}
 			}
 		}()
 		m, err := job.Run(seed)

@@ -151,6 +151,65 @@ func TestRetryTransientFailure(t *testing.T) {
 	}
 }
 
+// Retry and panic counts must surface per job and in the summary: a job
+// that panics once then succeeds reports one retry and one panic, and a
+// job that panics every attempt reports them all.
+func TestRetryAndPanicCounts(t *testing.T) {
+	var calls atomic.Int64
+	jobs := []Job{
+		{ID: "clean", Run: func(int64) (map[string]float64, error) {
+			return map[string]float64{"ok": 1}, nil
+		}},
+		{ID: "flaky", Run: func(int64) (map[string]float64, error) {
+			if calls.Add(1) == 1 {
+				panic("transient blow-up")
+			}
+			return map[string]float64{"ok": 1}, nil
+		}},
+		{ID: "doomed", Run: func(int64) (map[string]float64, error) {
+			panic("always")
+		}},
+	}
+	sink := &MemorySink{}
+	sum, err := Run(Config{Workers: 1, Retries: 2}, jobs, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 1 {
+		t.Fatalf("summary %+v, want only the doomed job failed", sum)
+	}
+	// flaky: 1 retry, 1 panic; doomed: 3 attempts = 2 retries, 3 panics.
+	if sum.Retried != 3 || sum.Panics != 4 {
+		t.Errorf("summary retried=%d panics=%d, want 3 and 4", sum.Retried, sum.Panics)
+	}
+	byID := map[string]Result{}
+	for _, r := range sink.Results() {
+		byID[r.JobID] = r
+	}
+	if r := byID["clean"]; r.Retries != 0 || r.Panics != 0 {
+		t.Errorf("clean job counted faults: %+v", r)
+	}
+	if r := byID["flaky"]; r.Retries != 1 || r.Panics != 1 || r.Err != "" {
+		t.Errorf("flaky job %+v, want 1 retry, 1 panic, success", r)
+	}
+	if r := byID["doomed"]; r.Retries != 2 || r.Panics != 3 || r.Err == "" {
+		t.Errorf("doomed job %+v, want 2 retries, 3 panics, failure", r)
+	}
+
+	// The counters ride the JSONL checkpoint records.
+	b, err := MarshalResults(sink.Results())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"retries":2`) || !strings.Contains(string(b), `"panics":3`) {
+		t.Errorf("JSONL missing fault counters:\n%s", b)
+	}
+	if strings.Contains(string(b), `"job":"clean","index":0,"seed"`) &&
+		strings.Contains(string(b), `"clean"`) && strings.Contains(string(b), `"retries":0`) {
+		t.Error("zero counters should be omitted from JSONL rows")
+	}
+}
+
 func TestDuplicateAndInvalidJobsRejected(t *testing.T) {
 	ok := func(int64) (map[string]float64, error) { return nil, nil }
 	for _, jobs := range [][]Job{

@@ -1,0 +1,228 @@
+package timely
+
+import (
+	"ecndelay/internal/des"
+	"ecndelay/internal/netsim"
+)
+
+// Go-back-N loss recovery (Params.Recovery). TIMELY already acks at
+// segment boundaries for RTT measurement; under Recovery those same acks
+// become cumulative (Seq carries the next expected byte offset), sequence
+// gaps produce rate-limited NACKs, and the sender rewinds its cursor and
+// regenerates the lost tail. An RTO with exponential backoff covers lost
+// feedback. With Recovery off none of this code runs and the wire
+// behaviour is unchanged.
+
+// rxState is the receiver-side per-flow reassembly cursor.
+type rxState struct {
+	exp     int64 // next expected byte offset
+	lastSig des.Time
+	sigged  bool
+}
+
+// recvData is handleData under Recovery.
+func (e *Endpoint) recvData(pkt *netsim.Packet) {
+	st := e.rx[pkt.Flow]
+	if st == nil {
+		st = &rxState{}
+		e.rx[pkt.Flow] = st
+	}
+	now := e.host.Now()
+	switch {
+	case pkt.Seq == st.exp:
+		size := int64(pkt.Size)
+		st.exp += size
+		e.rxBytes[pkt.Flow] += size
+		if pkt.AckReq || pkt.Last {
+			e.signal(pkt, netsim.Ack, st, now)
+		}
+		if pkt.Last && e.OnComplete != nil {
+			e.OnComplete(Completion{Flow: pkt.Flow, Bytes: e.rxBytes[pkt.Flow], At: now})
+		}
+	case pkt.Seq > st.exp:
+		// Gap: rate-limited NACK naming the missing offset.
+		if !st.sigged || now.Sub(st.lastSig) >= e.p.NackMinGap {
+			e.signal(pkt, netsim.Nack, st, now)
+		}
+	default:
+		// Duplicate (rewind overshoot or a lost ack): re-ack, rate
+		// limited. The echo still yields a valid RTT sample.
+		if !st.sigged || now.Sub(st.lastSig) >= e.p.NackMinGap {
+			e.signal(pkt, netsim.Ack, st, now)
+		}
+	}
+}
+
+// signal emits a cumulative Ack or Nack; acks echo the data packet's send
+// timestamp so the RTT engine keeps its completion events.
+func (e *Endpoint) signal(data *netsim.Packet, kind netsim.Kind, st *rxState, now des.Time) {
+	st.sigged = true
+	st.lastSig = now
+	pkt := e.host.Net().NewPacket()
+	pkt.Flow = data.Flow
+	pkt.Dst = data.Src
+	pkt.Size = netsim.CtrlSize
+	pkt.Kind = kind
+	pkt.Seq = st.exp
+	if kind == netsim.Ack {
+		pkt.EchoT = data.SentAt
+		pkt.Bytes = data.Size
+	}
+	e.host.Send(pkt)
+}
+
+// TotalRxBytes sums delivered payload across flows at this endpoint —
+// under Recovery that is in-order bytes only, i.e. goodput.
+func (e *Endpoint) TotalRxBytes() int64 {
+	var n int64
+	for _, b := range e.rxBytes {
+		n += b
+	}
+	return n
+}
+
+// RecoveryStats summarises a sender's loss-recovery work.
+type RecoveryStats struct {
+	RetxBytes    int64        // bytes re-sent below the high-water mark
+	Rewinds      int64        // go-back-N cursor rewinds
+	RTOs         int64        // retransmission timeouts fired
+	AckedBytes   int64        // cumulative acknowledged bytes
+	Recovering   bool         // currently inside a recovery episode
+	RecoveryTime des.Duration // total time spent recovering
+}
+
+// Recovery reports the sender's loss-recovery statistics.
+func (s *Sender) Recovery() RecoveryStats {
+	return RecoveryStats{
+		RetxBytes:    s.retxBytes,
+		Rewinds:      s.rewinds,
+		RTOs:         s.rtos,
+		AckedBytes:   s.acked,
+		Recovering:   s.recovering,
+		RecoveryTime: s.recoverTime,
+	}
+}
+
+// cursorDone handles the send cursor reaching the end of the flow: with
+// recovery pending acks, pacing stops but the RTO stays armed; otherwise
+// the flow is done.
+func (s *Sender) cursorDone() {
+	if s.e.p.Recovery && s.size >= 0 && s.acked < s.size {
+		s.armRTO()
+		return
+	}
+	s.done = true
+	s.rtoEv.Cancel()
+}
+
+// onCumAck applies the cumulative part of an acknowledgement.
+func (s *Sender) onCumAck(seq int64) {
+	if s.done {
+		return
+	}
+	if seq > s.acked {
+		s.acked = seq
+		s.rtoShift = 0 // feedback is flowing again
+	}
+	s.checkRecovered()
+	if s.size >= 0 && s.acked >= s.size {
+		s.complete()
+		return
+	}
+	if s.acked >= s.sent {
+		s.rtoEv.Cancel() // nothing outstanding
+	} else {
+		s.armRTO()
+	}
+}
+
+// onNack rewinds to the receiver's next expected offset; the NACK's Seq
+// also acknowledges everything before it.
+func (s *Sender) onNack(seq int64) {
+	if !s.e.p.Recovery || !s.started || s.done {
+		return
+	}
+	if seq > s.acked {
+		s.acked = seq
+		s.rtoShift = 0
+	}
+	s.checkRecovered()
+	if s.size >= 0 && s.acked >= s.size {
+		s.complete()
+		return
+	}
+	s.rewind(seq)
+}
+
+// onRTO assumes everything outstanding was lost and goes back to the
+// last acknowledged offset.
+func (s *Sender) onRTO() {
+	if s.done || !s.started {
+		return
+	}
+	if s.acked >= s.sent {
+		s.armRTO() // stale timer; keep a quiet backstop
+		return
+	}
+	s.rtos++
+	if s.rtoShift < 16 {
+		s.rtoShift++ // exponential backoff, capped by RTOMax in armRTO
+	}
+	s.rewind(s.acked)
+}
+
+// rewind moves the send cursor back to offset `to` and restarts pacing;
+// the payload is synthetic, so the cursor regenerates identical packets
+// and no retransmit buffer is needed. The segment accumulator restarts so
+// ack-request boundaries stay aligned with the retransmitted stream.
+func (s *Sender) rewind(to int64) {
+	if to < s.acked {
+		to = s.acked
+	}
+	if to >= s.sent {
+		return // nothing to go back over
+	}
+	if !s.recovering {
+		s.recovering = true
+		s.recoverStart = s.e.host.Now()
+	}
+	s.rewinds++
+	s.sent = to
+	s.segBytes = 0
+	s.paceEv.Cancel()
+	if s.e.p.Burst {
+		s.sendBurst()
+	} else {
+		s.sendNextPacket()
+	}
+}
+
+// checkRecovered closes a recovery episode once the cumulative ack has
+// caught back up with the high-water mark.
+func (s *Sender) checkRecovered() {
+	if s.recovering && s.acked >= s.maxSent {
+		s.recoverTime += s.e.host.Now().Sub(s.recoverStart)
+		s.recovering = false
+	}
+}
+
+// complete ends the flow once every byte is acknowledged.
+func (s *Sender) complete() {
+	if s.recovering {
+		s.recoverTime += s.e.host.Now().Sub(s.recoverStart)
+		s.recovering = false
+	}
+	s.done = true
+	s.paceEv.Cancel()
+	s.rtoEv.Cancel()
+}
+
+// armRTO (re)starts the retransmission timer with the current backoff.
+func (s *Sender) armRTO() {
+	d := s.e.p.RTO << s.rtoShift
+	if d > s.e.p.RTOMax {
+		d = s.e.p.RTOMax
+	}
+	s.rtoEv.Cancel()
+	s.rtoEv = s.e.host.Net().Sim.ScheduleHandler(d, s, evRTO)
+}

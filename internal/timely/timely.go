@@ -50,6 +50,37 @@ type Params struct {
 	// how a hardware implementation keeps one noisy sample from zeroing
 	// the rate.
 	GradClamp float64
+
+	// Recovery enables go-back-N loss recovery: acks become cumulative
+	// (Seq carries the receiver's next expected offset), gaps trigger
+	// rate-limited NACKs, and the sender rewinds and retransmits with an
+	// RTO backstop. Off by default; with Recovery false the wire
+	// behaviour is bit-identical to builds that predate it.
+	Recovery bool
+	// RTO is the retransmission timeout (0: 1 ms when Recovery is on).
+	RTO des.Duration
+	// RTOMax caps the exponential backoff (0: 8×RTO).
+	RTOMax des.Duration
+	// NackMinGap rate-limits NACKs and duplicate re-acks per flow (0: 50 µs).
+	NackMinGap des.Duration
+}
+
+// withRecoveryDefaults fills zero-valued recovery knobs when Recovery is
+// enabled; with Recovery off they stay zero and unused.
+func (p Params) withRecoveryDefaults() Params {
+	if !p.Recovery {
+		return p
+	}
+	if p.RTO == 0 {
+		p.RTO = des.Millisecond
+	}
+	if p.RTOMax == 0 {
+		p.RTOMax = 8 * p.RTO
+	}
+	if p.NackMinGap == 0 {
+		p.NackMinGap = 50 * des.Microsecond
+	}
+	return p
 }
 
 // DefaultParams returns the footnote-4 parameters with 16 KB segments and
@@ -97,6 +128,8 @@ func (p Params) Validate() error {
 		return errors.New("timely: MinRate must be positive")
 	case p.Patched && p.RTTRef <= 0:
 		return errors.New("timely: patched mode needs RTTRef")
+	case p.Recovery && (p.RTO <= 0 || p.RTOMax < p.RTO || p.NackMinGap <= 0):
+		return errors.New("timely: recovery needs 0 < RTO <= RTOMax and a positive NackMinGap")
 	}
 	return nil
 }
@@ -113,6 +146,7 @@ type Endpoint struct {
 	host  *netsim.Host
 	p     Params
 	flows map[int]*Sender
+	rx    map[int]*rxState // go-back-N receive state (Recovery only)
 
 	rxBytes map[int]int64
 	// OnComplete fires when a flow's last packet arrives here.
@@ -121,12 +155,14 @@ type Endpoint struct {
 
 // NewEndpoint attaches a TIMELY engine to h.
 func NewEndpoint(h *netsim.Host, p Params) (*Endpoint, error) {
+	p = p.withRecoveryDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	e := &Endpoint{
 		host: h, p: p,
 		flows:   make(map[int]*Sender),
+		rx:      make(map[int]*rxState),
 		rxBytes: make(map[int]int64),
 	}
 	h.Transport = e
@@ -156,10 +192,18 @@ func (e *Endpoint) Handle(h *netsim.Host, pkt *netsim.Packet) {
 		if s, ok := e.flows[pkt.Flow]; ok {
 			s.onAck(pkt)
 		}
+	case netsim.Nack:
+		if s, ok := e.flows[pkt.Flow]; ok {
+			s.onNack(pkt.Seq)
+		}
 	}
 }
 
 func (e *Endpoint) handleData(pkt *netsim.Packet) {
+	if e.p.Recovery {
+		e.recvData(pkt)
+		return
+	}
 	e.rxBytes[pkt.Flow] += int64(pkt.Size)
 	if pkt.AckReq || pkt.Last {
 		ack := e.host.Net().NewPacket()
@@ -197,6 +241,19 @@ type Sender struct {
 	started  bool
 	done     bool
 
+	// Go-back-N recovery state (Params.Recovery only).
+	acked        int64 // cumulative acknowledged bytes
+	maxSent      int64 // high-water mark of the send cursor
+	retxBytes    int64
+	rewinds      int64
+	rtos         int64
+	rtoShift     int // exponential backoff exponent
+	recovering   bool
+	recoverStart des.Time
+	recoverTime  des.Duration
+	paceEv       des.EventRef // pending pacing tick (cancelled on rewind)
+	rtoEv        des.EventRef
+
 	// RateHook, if non-nil, observes every rate change.
 	RateHook func(t des.Time, rate float64)
 }
@@ -208,6 +265,7 @@ const (
 	evStart  = iota // flow start at its configured time
 	evPacket        // per-packet pacing tick
 	evBurst         // per-burst pacing tick
+	evRTO           // retransmission timeout (Recovery only)
 )
 
 // OnEvent implements des.Handler.
@@ -219,6 +277,8 @@ func (s *Sender) OnEvent(arg any) {
 		s.sendNextPacket()
 	case evBurst:
 		s.sendBurst()
+	case evRTO:
+		s.onRTO()
 	}
 }
 
@@ -306,7 +366,13 @@ func (s *Sender) nextPacket() *netsim.Packet {
 	pkt.Seq = s.sent
 	pkt.Last = last
 	pkt.AckReq = ackReq
+	if s.e.p.Recovery && s.sent < s.maxSent {
+		s.retxBytes += size
+	}
 	s.sent += size
+	if s.e.p.Recovery && s.sent > s.maxSent {
+		s.maxSent = s.sent
+	}
 	return pkt
 }
 
@@ -318,19 +384,22 @@ func (s *Sender) sendNextPacket() {
 	}
 	pkt := s.nextPacket()
 	if pkt == nil {
-		s.done = true
+		s.cursorDone()
 		return
 	}
 	// Ownership of pkt transfers to the network at Send; read its fields
 	// before handing it over.
 	size, last := pkt.Size, pkt.Last
 	s.e.host.Send(pkt)
+	if s.e.p.Recovery {
+		s.armRTO()
+	}
 	if last {
-		s.done = true
+		s.cursorDone()
 		return
 	}
 	gap := des.DurationFromSeconds(float64(size) / s.rate)
-	s.e.host.Net().Sim.ScheduleHandler(gap, s, evPacket)
+	s.paceEv = s.e.host.Net().Sim.ScheduleHandler(gap, s, evPacket)
 }
 
 // sendBurst implements per-burst pacing: a whole segment is handed to the
@@ -341,35 +410,48 @@ func (s *Sender) sendBurst() {
 		return
 	}
 	burstBytes := int64(0)
+	ended := false
 	for burstBytes < int64(s.e.p.Seg) {
 		pkt := s.nextPacket()
 		if pkt == nil {
-			s.done = true
+			ended = true
 			break
 		}
 		size, last, ackReq := pkt.Size, pkt.Last, pkt.AckReq
 		s.e.host.Send(pkt)
 		burstBytes += int64(size)
 		if last {
-			s.done = true
+			ended = true
 			break
 		}
 		if ackReq {
 			break // segment boundary
 		}
 	}
-	if s.done {
+	if s.e.p.Recovery && burstBytes > 0 {
+		s.armRTO()
+	}
+	if ended {
+		s.cursorDone()
 		return
 	}
 	gap := des.DurationFromSeconds(float64(burstBytes) / s.rate)
-	s.e.host.Net().Sim.ScheduleHandler(gap, s, evBurst)
+	s.paceEv = s.e.host.Net().Sim.ScheduleHandler(gap, s, evBurst)
 }
 
 // onAck is the completion event: compute the RTT sample and run the rate
-// update, gated to once per MinRTT as in [21] §5.
+// update, gated to once per MinRTT as in [21] §5. Under Recovery the ack
+// is also cumulative; the acknowledgement state advances even when the
+// RTT update is gated away.
 func (s *Sender) onAck(pkt *netsim.Packet) {
 	if !s.started {
 		return
+	}
+	if s.e.p.Recovery {
+		s.onCumAck(pkt.Seq)
+		if s.done {
+			return
+		}
 	}
 	now := s.e.host.Now()
 	newRTT := now.Sub(pkt.EchoT)
