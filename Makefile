@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt test race bench bench-smoke determinism
+.PHONY: ci build vet fmt test race bench bench-smoke determinism obs-ab
 
-ci: fmt vet build test race bench-smoke determinism
+ci: fmt vet build test race bench-smoke determinism obs-ab
 
 build:
 	$(GO) build ./...
@@ -20,21 +20,26 @@ fmt:
 test:
 	$(GO) test -timeout 5m ./...
 
-# Race gate for the concurrent code paths: the sweep engine, the
-# experiment registry it drives, the pooled event/packet engines
-# underneath them, and the fault-injection layer that hooks into them.
+# Race gate over the whole module: the sweep engine and the shared
+# observer (atomic counters, mutex-serialised tracer and invariant
+# checker) are the concurrent paths, but every package rides along so a
+# new data race anywhere fails CI. internal/fluid is excluded: it is
+# single-goroutine numeric integration (nothing for the detector to
+# find) and its ~2-minute suite balloons past the timeout under -race.
 race:
-	$(GO) test -race -timeout 5m ./internal/des ./internal/netsim ./internal/sweep ./internal/exp ./internal/fault
+	$(GO) test -race -timeout 10m $$($(GO) list ./... | grep -v internal/fluid)
 
 bench:
 	$(GO) test -bench=Sweep -run='^$$' .
 
 # Alloc-regression gate: run the hot-path microbenchmarks once and the
-# AllocsPerRun guards that pin the steady-state paths at 0 allocs/op.
+# AllocsPerRun guards that pin the steady-state paths at 0 allocs/op —
+# both with observability off (the hooks must be free) and with a full
+# observer attached (counters, tracer, checker must not allocate either).
 bench-smoke:
 	$(GO) test -timeout 5m -run='^$$' -bench='HandlerEvents|ClosureEvents|PortChain' \
 		-benchmem -benchtime=1x ./internal/des ./internal/netsim
-	$(GO) test -timeout 5m -run='AllocFree' ./internal/des ./internal/netsim
+	$(GO) test -timeout 5m -run='AllocFree' ./internal/des ./internal/netsim ./internal/obs
 
 # Determinism gate: a faulty packet-level run (loss + feedback loss +
 # go-back-N recovery) executed twice must produce byte-identical output.
@@ -45,3 +50,19 @@ determinism:
 	$(GO) run ./cmd/packetsim -proto dcqcn -n 4 -horizon 0.02 \
 		-loss 1e-3 -ctrl-loss 1e-2 -recovery -seed 7 -fault-seed 42 > "$$tmp/b.tsv"; \
 	cmp "$$tmp/a.tsv" "$$tmp/b.tsv" && echo "determinism: faulty run reproduces byte-for-byte"
+
+# Observability A/B gate: attaching the full observer (metrics + trace +
+# probes + invariants) must not change the simulation — the same seeded
+# run with and without the obs flags must print byte-identical results,
+# and the observed run must finish with zero invariant violations (a
+# non-zero packetsim exit fails the gate).
+obs-ab:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/packetsim -proto dcqcn -n 4 -horizon 0.02 -seed 7 > "$$tmp/off.tsv"; \
+	$(GO) run ./cmd/packetsim -proto dcqcn -n 4 -horizon 0.02 -seed 7 \
+		-metrics "$$tmp/metrics.tsv" -trace "$$tmp/trace.jsonl" \
+		-probe "$$tmp/probe.jsonl" -invariants > "$$tmp/on.tsv"; \
+	cmp "$$tmp/off.tsv" "$$tmp/on.tsv"; \
+	for f in metrics.tsv trace.jsonl probe.jsonl; do \
+		[ -s "$$tmp/$$f" ] || { echo "obs-ab: $$f is empty"; exit 1; }; done; \
+	echo "obs-ab: observer is invisible to the run (outputs byte-identical, invariants clean)"

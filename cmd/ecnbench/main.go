@@ -42,6 +42,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers    = fs.Int("workers", 1, "experiments to run concurrently (0: GOMAXPROCS)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+
+		metricsFile = fs.String("metrics", "", "write end-of-run counters as TSV to this file")
+		traceFile   = fs.String("trace", "", "stream the event trace as JSONL to this file")
+		probeFile   = fs.String("probe", "", "write probe time series as JSONL to this file")
+		probeEvery  = fs.Float64("probe-every", 1e-4, "probe sampling cadence, seconds")
+		invariants  = fs.Bool("invariants", false, "check runtime invariants; violations exit nonzero")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -68,6 +74,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts := ecndelay.ExperimentOptions{Scale: ecndelay.Quick, Seed: *seed}
 	if *full {
 		opts.Scale = ecndelay.Full
+	}
+
+	// One shared observer serves every selected experiment (and worker):
+	// counters are atomic, the tracer and checker serialise internally.
+	var observer *ecndelay.Observer
+	var traceSink *ecndelay.TraceJSONLSink
+	if *metricsFile != "" || *traceFile != "" || *probeFile != "" || *invariants {
+		observer = &ecndelay.Observer{ProbeEvery: ecndelay.DurationFromSeconds(*probeEvery)}
+		if *metricsFile != "" {
+			observer.Metrics = ecndelay.NewMetricsRegistry()
+		}
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintf(stderr, "ecnbench: %v\n", err)
+				return 2
+			}
+			traceSink = ecndelay.NewTraceJSONLSink(f)
+			observer.Trace = ecndelay.NewTracer(traceSink)
+		}
+		if *probeFile != "" {
+			observer.Probes = ecndelay.NewProbeSet()
+		}
+		if *invariants {
+			observer.Check = ecndelay.NewInvariantChecker()
+		}
+		opts.Observer = observer
 	}
 
 	var selected []ecndelay.Experiment
@@ -118,7 +151,54 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ecnbench: %v\n", err)
 		return 1
 	}
+	if observer != nil {
+		if code := finishObs(observer, traceSink, *metricsFile, *probeFile, stderr); code != 0 {
+			return code
+		}
+	}
 	if sink.failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// finishObs flushes the observability outputs and reports invariant
+// violations; returns a nonzero exit code on failure.
+func finishObs(o *ecndelay.Observer, trace *ecndelay.TraceJSONLSink, metricsPath, probePath string, stderr io.Writer) int {
+	if trace != nil {
+		if err := trace.Close(); err != nil {
+			fmt.Fprintf(stderr, "ecnbench: %v\n", err)
+			return 1
+		}
+	}
+	write := func(path string, fn func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if metricsPath != "" {
+		if err := write(metricsPath, o.Metrics.WriteTSV); err != nil {
+			fmt.Fprintf(stderr, "ecnbench: %v\n", err)
+			return 1
+		}
+	}
+	if probePath != "" {
+		if err := write(probePath, o.Probes.WriteJSONL); err != nil {
+			fmt.Fprintf(stderr, "ecnbench: %v\n", err)
+			return 1
+		}
+	}
+	if c := o.Check; c != nil && c.Total() > 0 {
+		for _, v := range c.Violations() {
+			fmt.Fprintf(stderr, "ecnbench: invariant violation: %s\n", v)
+		}
+		fmt.Fprintf(stderr, "ecnbench: %d invariant violation(s)\n", c.Total())
 		return 1
 	}
 	return 0

@@ -20,6 +20,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
@@ -58,6 +59,12 @@ func main() {
 		pfcPause  = flag.Int("pfc-pause", 0, "PFC pause threshold, bytes (0: PFC off)")
 		pfcResume = flag.Int("pfc-resume", 0, "PFC resume threshold, bytes")
 		pfcWatch  = flag.Float64("pfc-watchdog", 0, "flag pauses sustained this many seconds (0: off)")
+
+		metricsFile = flag.String("metrics", "", "write end-of-run counters as TSV to this file")
+		traceFile   = flag.String("trace", "", "stream the event trace as JSONL to this file")
+		probeFile   = flag.String("probe", "", "write probe time series as JSONL to this file")
+		probeEvery  = flag.Float64("probe-every", 1e-4, "probe sampling cadence, seconds")
+		invariants  = flag.Bool("invariants", false, "check runtime invariants; violations exit nonzero")
 	)
 	flag.Parse()
 
@@ -66,8 +73,37 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Observability: build the observer before any topology exists so
+	// ports and endpoints bind their counters. All extra output goes to
+	// separate files — stdout stays byte-identical to an unobserved run.
+	var observer *ecndelay.Observer
+	var traceSink *ecndelay.TraceJSONLSink
+	if *metricsFile != "" || *traceFile != "" || *probeFile != "" || *invariants {
+		observer = &ecndelay.Observer{ProbeEvery: ecndelay.DurationFromSeconds(*probeEvery)}
+		if *metricsFile != "" {
+			observer.Metrics = ecndelay.NewMetricsRegistry()
+		}
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			traceSink = ecndelay.NewTraceJSONLSink(f)
+			observer.Trace = ecndelay.NewTracer(traceSink)
+		}
+		if *probeFile != "" {
+			observer.Probes = ecndelay.NewProbeSet()
+		}
+		if *invariants {
+			observer.Check = ecndelay.NewInvariantChecker()
+		}
+	}
+
 	bwBytes := *bw / 8
 	nw := ecndelay.NewNetwork(*seed)
+	if observer != nil {
+		nw.SetObserver(observer)
+	}
 	var mark func() ecndelay.Marker
 	if *proto == "dcqcn" {
 		mark = func() ecndelay.Marker {
@@ -100,6 +136,13 @@ func main() {
 
 	rate := make([]func() float64, *n)
 	retx := make([]func() int64, *n)
+	// Protocol-specific probe signals (DCQCN α, TIMELY RTT), registered
+	// alongside the queue and rate probes when -probe is set.
+	type probeSignal struct {
+		name string
+		fn   func() float64
+	}
+	var auxProbes []probeSignal
 	switch *proto {
 	case "dcqcn":
 		p := ecndelay.DefaultDCQCNProtoParams()
@@ -119,6 +162,7 @@ func main() {
 			}
 			rate[i] = s.Rate
 			retx[i] = func() int64 { return s.Recovery().RetxBytes }
+			auxProbes = append(auxProbes, probeSignal{fmt.Sprintf("alpha%d", i), s.Alpha})
 		}
 	case "timely", "patched":
 		p := ecndelay.DefaultTimelyProtoParams()
@@ -149,6 +193,8 @@ func main() {
 			}
 			rate[i] = s.Rate
 			retx[i] = func() int64 { return s.Recovery().RetxBytes }
+			auxProbes = append(auxProbes, probeSignal{fmt.Sprintf("rtt_s%d", i),
+				func() float64 { return s.RTT().Seconds() }})
 		}
 	default:
 		log.Fatalf("unknown -proto %q", *proto)
@@ -199,6 +245,21 @@ func main() {
 		wd.WatchHost(star.Receiver)
 	}
 
+	if observer != nil && observer.Probes != nil {
+		every := observer.ProbeCadence()
+		q := star.Bottleneck.Queue()
+		observer.Probes.NewProbe("queue_bytes", 0).Drive(nw.Sim, every, func() float64 {
+			return float64(q.Bytes())
+		})
+		for i := 0; i < *n; i++ {
+			fn := rate[i]
+			observer.Probes.NewProbe(fmt.Sprintf("rate%d", i), 0).Drive(nw.Sim, every, fn)
+		}
+		for _, ap := range auxProbes {
+			observer.Probes.NewProbe(ap.name, 0).Drive(nw.Sim, every, ap.fn)
+		}
+	}
+
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	fmt.Fprint(out, "# t\tq_bytes")
@@ -246,6 +307,46 @@ func main() {
 	if err := stopProf(); err != nil {
 		log.Fatal(err)
 	}
+	if observer != nil {
+		out.Flush() // log.Fatal below skips the deferred flush
+		if traceSink != nil {
+			if err := traceSink.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *metricsFile != "" {
+			if err := writeFileWith(*metricsFile, observer.Metrics.WriteTSV); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *probeFile != "" {
+			if err := writeFileWith(*probeFile, observer.Probes.WriteJSONL); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if c := observer.Check; c != nil {
+			c.Finish(nw.Sim.Now())
+			if c.Total() > 0 {
+				for _, v := range c.Violations() {
+					fmt.Fprintln(os.Stderr, "packetsim: invariant violation:", v)
+				}
+				log.Fatalf("%d invariant violation(s)", c.Total())
+			}
+		}
+	}
+}
+
+// writeFileWith creates path and streams write into it.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func injectedDrops(a *ecndelay.AppliedFaults) int64 {

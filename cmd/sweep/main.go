@@ -61,6 +61,12 @@ func run(args []string, stderr io.Writer) int {
 		retries    = fs.Int("retries", 0, "extra attempts per failed job")
 		seed       = fs.Int64("seed", 1, "base seed for per-job seed derivation")
 		quiet      = fs.Bool("quiet", false, "suppress progress reporting")
+
+		metricsFile = fs.String("metrics", "", "exp: write end-of-run counters as TSV to this file")
+		traceFile   = fs.String("trace", "", "exp: stream the event trace as JSONL to this file")
+		probeFile   = fs.String("probe", "", "exp: write probe time series as JSONL to this file")
+		probeEvery  = fs.Float64("probe-every", 1e-4, "exp: probe sampling cadence, seconds")
+		invariants  = fs.Bool("invariants", false, "exp: check runtime invariants; violations exit nonzero")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -76,7 +82,36 @@ func run(args []string, stderr io.Writer) int {
 		}
 	}()
 
-	jobs, err := buildJobs(*kind, *model, *flows, *delays, *expFlag, *seeds, *full)
+	// One shared observer serves every job: counters are atomic and the
+	// checker serialises, so metrics and invariant results are identical
+	// for any -workers value. Trace and probe streams interleave jobs by
+	// completion, so byte-stable output there needs -workers 1. The pm
+	// grid is fluid-model only and never touches the observer.
+	var observer *ecndelay.Observer
+	var traceSink *ecndelay.TraceJSONLSink
+	if *metricsFile != "" || *traceFile != "" || *probeFile != "" || *invariants {
+		observer = &ecndelay.Observer{ProbeEvery: ecndelay.DurationFromSeconds(*probeEvery)}
+		if *metricsFile != "" {
+			observer.Metrics = ecndelay.NewMetricsRegistry()
+		}
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintf(stderr, "sweep: %v\n", err)
+				return 2
+			}
+			traceSink = ecndelay.NewTraceJSONLSink(f)
+			observer.Trace = ecndelay.NewTracer(traceSink)
+		}
+		if *probeFile != "" {
+			observer.Probes = ecndelay.NewProbeSet()
+		}
+		if *invariants {
+			observer.Check = ecndelay.NewInvariantChecker()
+		}
+	}
+
+	jobs, err := buildJobs(*kind, *model, *flows, *delays, *expFlag, *seeds, *full, observer)
 	if err != nil {
 		fmt.Fprintf(stderr, "sweep: %v\n", err)
 		return 2
@@ -115,6 +150,11 @@ func run(args []string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sweep: %v\n", err)
 		return 1
 	}
+	if observer != nil {
+		if code := finishObs(observer, traceSink, *metricsFile, *probeFile, stderr); code != 0 {
+			return code
+		}
+	}
 	if sum.Failed > 0 {
 		fmt.Fprintf(stderr, "sweep: %d of %d jobs failed (see %s)\n", sum.Failed, sum.Total, *out)
 		return 1
@@ -122,8 +162,50 @@ func run(args []string, stderr io.Writer) int {
 	return 0
 }
 
+// finishObs flushes the observability outputs and reports invariant
+// violations; returns a nonzero exit code on failure.
+func finishObs(o *ecndelay.Observer, trace *ecndelay.TraceJSONLSink, metricsPath, probePath string, stderr io.Writer) int {
+	if trace != nil {
+		if err := trace.Close(); err != nil {
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
+			return 1
+		}
+	}
+	write := func(path string, fn func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if metricsPath != "" {
+		if err := write(metricsPath, o.Metrics.WriteTSV); err != nil {
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
+			return 1
+		}
+	}
+	if probePath != "" {
+		if err := write(probePath, o.Probes.WriteJSONL); err != nil {
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
+			return 1
+		}
+	}
+	if c := o.Check; c != nil && c.Total() > 0 {
+		for _, v := range c.Violations() {
+			fmt.Fprintf(stderr, "sweep: invariant violation: %s\n", v)
+		}
+		fmt.Fprintf(stderr, "sweep: %d invariant violation(s)\n", c.Total())
+		return 1
+	}
+	return 0
+}
+
 // buildJobs expands the flag grid into the job matrix.
-func buildJobs(kind, model, flows, delays, expFlag, seeds string, full bool) ([]ecndelay.SweepJob, error) {
+func buildJobs(kind, model, flows, delays, expFlag, seeds string, full bool, obs *ecndelay.Observer) ([]ecndelay.SweepJob, error) {
 	switch kind {
 	case "pm":
 		ns, err := parseInts(flows)
@@ -173,7 +255,7 @@ func buildJobs(kind, model, flows, delays, expFlag, seeds string, full bool) ([]
 				seedList = append(seedList, int64(n))
 			}
 		}
-		opts := ecndelay.ExperimentOptions{Scale: ecndelay.Quick}
+		opts := ecndelay.ExperimentOptions{Scale: ecndelay.Quick, Observer: obs}
 		if full {
 			opts.Scale = ecndelay.Full
 		}

@@ -41,6 +41,7 @@ package ecndelay
 
 import (
 	"fmt"
+	"io"
 
 	"ecndelay/internal/convergence"
 	"ecndelay/internal/dcqcn"
@@ -50,6 +51,7 @@ import (
 	"ecndelay/internal/fixedpoint"
 	"ecndelay/internal/fluid"
 	"ecndelay/internal/netsim"
+	"ecndelay/internal/obs"
 	"ecndelay/internal/ode"
 	"ecndelay/internal/stability"
 	"ecndelay/internal/stats"
@@ -533,3 +535,96 @@ func ExperimentSweepJobs(ids []string, opts ExperimentOptions, seeds []int64) ([
 	}
 	return jobs, nil
 }
+
+// ---- Observability (internal/obs) ----
+
+// Observability facade: the zero-overhead-when-disabled instrumentation
+// layer. Attach an Observer to a Network (or pass it through FCTConfig /
+// ExperimentOptions) before building topology and endpoints.
+type (
+	// Observer bundles the observability facilities for one or more runs.
+	Observer = obs.NetObserver
+	// MetricsRegistry holds hierarchical counters and gauges.
+	MetricsRegistry = obs.Registry
+	// MetricsCounter is a monotonically increasing metric.
+	MetricsCounter = obs.Counter
+	// MetricsGauge is a last-value-wins metric.
+	MetricsGauge = obs.Gauge
+	// MetricsSnapshot is one instrument in a registry snapshot.
+	MetricsSnapshot = obs.Metric
+	// PortCounters is the per-port instrument set netsim registers.
+	PortCounters = obs.PortCounters
+	// EndpointCounters is the per-endpoint instrument set the protocol
+	// engines register.
+	EndpointCounters = obs.EndpointCounters
+	// Probe is a fixed-cadence time series in a preallocated ring buffer.
+	Probe = obs.Probe
+	// ProbeSet is a collection of probes with canonical JSONL/CSV export.
+	ProbeSet = obs.ProbeSet
+	// ProbeSample is one recorded probe point.
+	ProbeSample = obs.Sample
+	// Tracer fans simulator events out to sinks.
+	Tracer = obs.Tracer
+	// TraceEvent is one trace record.
+	TraceEvent = obs.Event
+	// TraceEventType labels an instrumented simulator action.
+	TraceEventType = obs.EventType
+	// TraceSink receives trace events.
+	TraceSink = obs.Sink
+	// TraceMemorySink retains trace events in memory.
+	TraceMemorySink = obs.MemorySink
+	// TraceJSONLSink streams trace events as JSONL.
+	TraceJSONLSink = obs.JSONLSink
+	// InvariantChecker verifies runtime invariants from the event stream.
+	InvariantChecker = obs.Checker
+	// InvariantViolation is one detected invariant breach.
+	InvariantViolation = obs.Violation
+	// InvariantClass identifies one of the checked invariant classes.
+	InvariantClass = obs.Invariant
+)
+
+// Trace record types.
+const (
+	TraceEnqueue    = obs.Enqueue
+	TraceDequeue    = obs.Dequeue
+	TraceMark       = obs.Mark
+	TracePause      = obs.Pause
+	TraceResume     = obs.Resume
+	TraceWireDrop   = obs.WireDrop
+	TraceBufDrop    = obs.BufDrop
+	TraceDeliver    = obs.Deliver
+	TraceRetx       = obs.Retx
+	TraceDoubleFree = obs.DoubleFree
+)
+
+// Invariant classes.
+const (
+	InvConservation = obs.InvConservation
+	InvQueueBounds  = obs.InvQueueBounds
+	InvPFCPairing   = obs.InvPFCPairing
+	InvDoubleFree   = obs.InvDoubleFree
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewProbe creates a probe with a preallocated ring (cap <= 0: default).
+func NewProbe(name string, capacity int) *Probe { return obs.NewProbe(name, capacity) }
+
+// NewProbeSet returns an empty probe set.
+func NewProbeSet() *ProbeSet { return obs.NewProbeSet() }
+
+// NewTracer returns a tracer emitting to the given sinks.
+func NewTracer(sinks ...TraceSink) *Tracer { return obs.NewTracer(sinks...) }
+
+// NewTraceMemorySink preallocates an in-memory trace sink.
+func NewTraceMemorySink(capacity int) *TraceMemorySink { return obs.NewMemorySink(capacity) }
+
+// NewTraceJSONLSink wraps w as a streaming JSONL trace sink.
+func NewTraceJSONLSink(w io.Writer) *TraceJSONLSink { return obs.NewJSONLSink(w) }
+
+// NewInvariantChecker returns a checker with no recorded state.
+func NewInvariantChecker() *InvariantChecker { return obs.NewChecker() }
+
+// FullObserver returns an observer with every facility enabled.
+func FullObserver() *Observer { return obs.Full() }

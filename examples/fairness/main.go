@@ -10,15 +10,27 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"ecndelay"
 )
 
 func main() {
 	log.SetFlags(0)
+	if err := run(os.Stdout, false); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	run := func(patched bool) []ecndelay.FluidSample {
+// run prints the two rate trajectories side by side. The fluid
+// integrations finish in well under a second, so quick and full runs are
+// identical; the flag exists for symmetry with the other examples.
+func run(w io.Writer, quick bool) error {
+	_ = quick
+
+	sim := func(patched bool) ([]ecndelay.FluidSample, error) {
 		cfg := ecndelay.DefaultTimelyFluidConfig(2)
 		if patched {
 			cfg = ecndelay.DefaultPatchedTimelyFluidConfig(2)
@@ -28,49 +40,56 @@ func main() {
 		if patched {
 			m, err := ecndelay.NewPatchedTimelyFluid(cfg)
 			if err != nil {
-				log.Fatal(err)
+				return nil, err
 			}
 			sys = m
 		} else {
 			m, err := ecndelay.NewTimelyFluid(cfg)
 			if err != nil {
-				log.Fatal(err)
+				return nil, err
 			}
 			sys = m
 		}
-		return ecndelay.RunFluid(sys, 1e-6, 0.5, 0.05)
+		return ecndelay.RunFluid(sys, 1e-6, 0.5, 0.05), nil
 	}
 
 	gbps := func(bytesPerSec float64) float64 { return bytesPerSec * 8 / 1e9 }
 
-	fmt.Println("Two TIMELY flows, 7 Gb/s and 3 Gb/s starts (fluid model)")
-	fmt.Println()
-	fmt.Printf("%-8s | %-25s | %-25s\n", "", "original TIMELY", "patched TIMELY")
-	fmt.Printf("%-8s | %-12s %-12s | %-12s %-12s\n", "t (ms)", "R1 (Gb/s)", "R2 (Gb/s)", "R1 (Gb/s)", "R2 (Gb/s)")
+	fmt.Fprintln(w, "Two TIMELY flows, 7 Gb/s and 3 Gb/s starts (fluid model)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-8s | %-25s | %-25s\n", "", "original TIMELY", "patched TIMELY")
+	fmt.Fprintf(w, "%-8s | %-12s %-12s | %-12s %-12s\n", "t (ms)", "R1 (Gb/s)", "R2 (Gb/s)", "R1 (Gb/s)", "R2 (Gb/s)")
 
-	orig := run(false)
-	patch := run(true)
+	orig, err := sim(false)
+	if err != nil {
+		return err
+	}
+	patch, err := sim(true)
+	if err != nil {
+		return err
+	}
 	// State layout for both TIMELY fluids: y[0]=queue, y[1]=R1, y[3]=R2.
 	for i := range orig {
-		fmt.Printf("%-8.0f | %-12.2f %-12.2f | %-12.2f %-12.2f\n",
+		fmt.Fprintf(w, "%-8.0f | %-12.2f %-12.2f | %-12.2f %-12.2f\n",
 			orig[i].T*1e3,
 			gbps(orig[i].Y[1]), gbps(orig[i].Y[3]),
 			gbps(patch[i].Y[1]), gbps(patch[i].Y[3]))
 	}
 
 	lo, po := orig[len(orig)-1], patch[len(patch)-1]
-	fmt.Println()
-	fmt.Printf("original TIMELY end ratio: %.2f (unfairness frozen — Theorem 4)\n", lo.Y[1]/lo.Y[3])
-	fmt.Printf("patched TIMELY end ratio:  %.2f (fair — Theorem 5)\n", po.Y[1]/po.Y[3])
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "original TIMELY end ratio: %.2f (unfairness frozen — Theorem 4)\n", lo.Y[1]/lo.Y[3])
+	fmt.Fprintf(w, "patched TIMELY end ratio:  %.2f (fair — Theorem 5)\n", po.Y[1]/po.Y[3])
 
 	// The patched fixed-point queue is exactly Eq. 31.
 	c := 10e9 / 8.0
 	qStar := ecndelay.PatchedTimelyQStar(2, 10e6/8, 0.008, c, c*50e-6)
-	fmt.Printf("patched queue: %.1f KB measured vs %.1f KB from Eq. 31\n",
+	fmt.Fprintf(w, "patched queue: %.1f KB measured vs %.1f KB from Eq. 31\n",
 		po.Y[0]/1000, qStar/1000)
 
 	// Jain's index over the final rates.
-	fmt.Printf("Jain index: original %.3f, patched %.3f\n",
+	fmt.Fprintf(w, "Jain index: original %.3f, patched %.3f\n",
 		ecndelay.JainIndex([]float64{lo.Y[1], lo.Y[3]}),
 		ecndelay.JainIndex([]float64{po.Y[1], po.Y[3]}))
+	return nil
 }

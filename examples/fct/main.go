@@ -10,48 +10,66 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"ecndelay"
 )
 
 func main() {
 	log.SetFlags(0)
+	if err := run(os.Stdout, false); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	fmt.Println("Small-flow FCT on the dumbbell (load 1.0 = 8 Gb/s offered)")
-	fmt.Println()
-	fmt.Printf("%-5s %-15s %6s %12s %12s %12s %8s\n",
+// run prints the FCT comparison table. quick shrinks the horizon and runs
+// a single load so the smoke test finishes in seconds; the full run uses
+// the paper-scale one-second horizon at two loads.
+func run(w io.Writer, quick bool) error {
+	loads := []float64{0.4, 0.8}
+	horizon, warmup, drain := 1.0, 0.15, 1.0
+	if quick {
+		loads = []float64{0.8}
+		horizon, warmup, drain = 0.1, 0.02, 0.3
+	}
+
+	fmt.Fprintln(w, "Small-flow FCT on the dumbbell (load 1.0 = 8 Gb/s offered)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-5s %-15s %6s %12s %12s %12s %8s\n",
 		"load", "protocol", "flows", "median (ms)", "p90 (ms)", "p99 (ms)", "util")
 
-	for _, load := range []float64{0.4, 0.8} {
+	for _, load := range loads {
 		for _, proto := range []ecndelay.Protocol{
 			ecndelay.ProtoDCQCN, ecndelay.ProtoTimely, ecndelay.ProtoPatchedTimely,
 		} {
 			res, err := ecndelay.RunFCT(ecndelay.FCTConfig{
 				Protocol:   proto,
 				LoadFactor: load,
-				Horizon:    1.0,
-				Warmup:     0.15,
-				Drain:      1.0,
+				Horizon:    horizon,
+				Warmup:     warmup,
+				Drain:      drain,
 				Seed:       1,
 			})
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			med, err := ecndelay.Percentile(res.SmallFCT, 50)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			p90, _ := ecndelay.Percentile(res.SmallFCT, 90)
 			p99, _ := ecndelay.Percentile(res.SmallFCT, 99)
-			fmt.Printf("%-5.1f %-15s %6d %12.3f %12.3f %12.3f %8.2f\n",
+			fmt.Fprintf(w, "%-5.1f %-15s %6d %12.3f %12.3f %12.3f %8.2f\n",
 				load, proto, len(res.SmallFCT), med*1e3, p90*1e3, p99*1e3, res.Utilisation)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
 	// The flow-size distribution driving the experiment.
 	ws := ecndelay.WebSearchSizes()
-	fmt.Printf("workload: DCTCP web-search sizes — mean %.2f MB, median %.0f KB, P(size<100KB) ≈ 0.57\n",
+	fmt.Fprintf(w, "workload: DCTCP web-search sizes — mean %.2f MB, median %.0f KB, P(size<100KB) ≈ 0.57\n",
 		ws.Mean()/1e6, ws.Quantile(0.5)/1e3)
+	return nil
 }

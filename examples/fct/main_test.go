@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFCTRunsQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, proto := range []string{"DCQCN", "TIMELY", "Patched TIMELY"} {
+		if !strings.Contains(out, proto) {
+			t.Errorf("output missing a row for %q:\n%s", proto, out)
+		}
+	}
+	if !strings.Contains(out, "web-search") {
+		t.Errorf("output missing the workload footer:\n%s", out)
+	}
+}

@@ -10,13 +10,25 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"ecndelay"
 )
 
 func main() {
 	log.SetFlags(0)
+	if err := run(os.Stdout, false); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run prints the jitter-sensitivity table. The fluid integrations are
+// already sub-second, so quick and full runs are identical; the flag
+// exists for symmetry with the other examples.
+func run(w io.Writer, quick bool) error {
+	_ = quick
 
 	stats := func(samples []ecndelay.FluidSample, idx int, tFrom float64) ecndelay.Summary {
 		var vals []float64
@@ -28,9 +40,9 @@ func main() {
 		return ecndelay.Summarize(vals)
 	}
 
-	fmt.Println("Uniform [0,100µs] feedback jitter, fluid models, 2 flows")
-	fmt.Println()
-	fmt.Printf("%-16s %-8s %12s %12s\n", "protocol", "jitter", "queue CV", "rate CV")
+	fmt.Fprintln(w, "Uniform [0,100µs] feedback jitter, fluid models, 2 flows")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-16s %-8s %12s %12s\n", "protocol", "jitter", "queue CV", "rate CV")
 
 	for _, jit := range []float64{0, 100e-6} {
 		p := ecndelay.DefaultDCQCNParams(2)
@@ -38,12 +50,12 @@ func main() {
 			Params: p, JitterMax: jit, Seed: 7,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		sm := ecndelay.RunFluid(sys, 1e-6, 0.2, 1e-4)
 		q := stats(sm, sys.QIndex(), 0.12)
 		r := stats(sm, sys.RCIndex(0), 0.12)
-		fmt.Printf("%-16s %-8s %12.4f %12.4f\n", "DCQCN", label(jit), q.CV(), r.CV())
+		fmt.Fprintf(w, "%-16s %-8s %12.4f %12.4f\n", "DCQCN", label(jit), q.CV(), r.CV())
 	}
 	for _, jit := range []float64{0, 100e-6} {
 		cfg := ecndelay.DefaultPatchedTimelyFluidConfig(2)
@@ -52,17 +64,18 @@ func main() {
 		cfg.Seed = 7
 		sys, err := ecndelay.NewPatchedTimelyFluid(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		sm := ecndelay.RunFluid(sys, 1e-6, 0.6, 1e-3)
 		q := stats(sm, sys.QIndex(), 0.4)
 		r := stats(sm, sys.RateIndex(0), 0.4)
-		fmt.Printf("%-16s %-8s %12.4f %12.4f\n", "patched TIMELY", label(jit), q.CV(), r.CV())
+		fmt.Fprintf(w, "%-16s %-8s %12.4f %12.4f\n", "patched TIMELY", label(jit), q.CV(), r.CV())
 	}
 
-	fmt.Println()
-	fmt.Println("The ECN mark is a fact that arrives late; the RTT sample is a measurement that")
-	fmt.Println("arrives wrong. Delay-based control gets feedback that is both delayed and noisy.")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "The ECN mark is a fact that arrives late; the RTT sample is a measurement that")
+	fmt.Fprintln(w, "arrives wrong. Delay-based control gets feedback that is both delayed and noisy.")
+	return nil
 }
 
 func label(jit float64) string {

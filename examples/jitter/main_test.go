@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJitterRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "DCQCN") || !strings.Contains(out, "patched TIMELY") {
+		t.Errorf("output missing a protocol row:\n%s", out)
+	}
+	if !strings.Contains(out, "100µs") {
+		t.Errorf("output missing the jittered case:\n%s", out)
+	}
+}

@@ -9,39 +9,53 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"ecndelay"
 )
 
 func main() {
 	log.SetFlags(0)
+	if err := run(os.Stdout, false); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run prints the three views of the quickstart scenario. quick shortens
+// the packet-level leg so tests finish fast; the full run lets the
+// simulator settle into the analytical fixed point.
+func run(w io.Writer, quick bool) error {
 	// 1. The analytical fixed point (Theorem 1, Eq. 9-11).
 	params := ecndelay.DefaultDCQCNParams(2)
 	fp, err := ecndelay.SolveDCQCNFixedPoint(params)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("Theorem 1 fixed point:")
-	fmt.Printf("  marking probability p* = %.4g\n", fp.P)
-	fmt.Printf("  queue q*               = %.1f KB\n", fp.Q) // packets of 1 KB
-	fmt.Printf("  per-flow rate          = %.1f Gb/s\n", fp.RC*1000*8/1e9)
+	fmt.Fprintln(w, "Theorem 1 fixed point:")
+	fmt.Fprintf(w, "  marking probability p* = %.4g\n", fp.P)
+	fmt.Fprintf(w, "  queue q*               = %.1f KB\n", fp.Q) // packets of 1 KB
+	fmt.Fprintf(w, "  per-flow rate          = %.1f Gb/s\n", fp.RC*1000*8/1e9)
 
 	// 2. The fluid model (Figure 1) integrated for 100 ms.
 	sys, err := ecndelay.NewDCQCNFluid(ecndelay.DCQCNFluidConfig{Params: params})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	trajectory := ecndelay.RunFluid(sys, 1e-6, 0.1, 1e-4)
 	last := trajectory[len(trajectory)-1]
-	fmt.Println("\nFluid model after 100 ms:")
-	fmt.Printf("  queue  = %.1f KB\n", last.Y[sys.QIndex()])
-	fmt.Printf("  flow 1 = %.1f Gb/s, flow 2 = %.1f Gb/s\n",
+	fmt.Fprintln(w, "\nFluid model after 100 ms:")
+	fmt.Fprintf(w, "  queue  = %.1f KB\n", last.Y[sys.QIndex()])
+	fmt.Fprintf(w, "  flow 1 = %.1f Gb/s, flow 2 = %.1f Gb/s\n",
 		last.Y[sys.RCIndex(0)]*1000*8/1e9, last.Y[sys.RCIndex(1)]*1000*8/1e9)
 
 	// 3. The packet-level simulator: same scenario, real packets, RED/ECN
 	// marking on egress, CNPs on the reverse path.
+	horizon, from, to := 50*ecndelay.Millisecond, 0.03, 0.05
+	if quick {
+		horizon, from, to = 10*ecndelay.Millisecond, 0.006, 0.01
+	}
 	nw := ecndelay.NewNetwork(1)
 	star := ecndelay.NewStar(nw, ecndelay.StarConfig{
 		Senders: 2,
@@ -51,27 +65,28 @@ func main() {
 		},
 	})
 	if _, err := ecndelay.NewDCQCNEndpoint(star.Receiver, ecndelay.DefaultDCQCNProtoParams()); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var senders []*ecndelay.DCQCNSender
 	for i, h := range star.Senders {
 		ep, err := ecndelay.NewDCQCNEndpoint(h, ecndelay.DefaultDCQCNProtoParams())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		s, err := ep.NewFlow(i, star.Receiver.ID(), -1, 0)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		senders = append(senders, s)
 	}
 	queue := ecndelay.MonitorQueueBytes(nw, star.Bottleneck, 100*ecndelay.Microsecond)
-	nw.Sim.RunUntil(ecndelay.Time(50 * ecndelay.Millisecond))
+	nw.Sim.RunUntil(ecndelay.Time(horizon))
 
-	q := queue.WindowSummary(0.03, 0.05)
-	fmt.Println("\nPacket-level simulator after 50 ms:")
-	fmt.Printf("  queue  = %.1f KB (sd %.1f)\n", q.Mean/1000, q.Stddev/1000)
-	fmt.Printf("  flow 1 = %.1f Gb/s, flow 2 = %.1f Gb/s\n",
+	q := queue.WindowSummary(from, to)
+	fmt.Fprintf(w, "\nPacket-level simulator after %s:\n", horizon)
+	fmt.Fprintf(w, "  queue  = %.1f KB (sd %.1f)\n", q.Mean/1000, q.Stddev/1000)
+	fmt.Fprintf(w, "  flow 1 = %.1f Gb/s, flow 2 = %.1f Gb/s\n",
 		senders[0].Rate()*8/1e9, senders[1].Rate()*8/1e9)
-	fmt.Printf("  events simulated: %d\n", nw.Sim.Processed())
+	fmt.Fprintf(w, "  events simulated: %d\n", nw.Sim.Processed())
+	return nil
 }

@@ -11,45 +11,57 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"ecndelay"
 )
 
 func main() {
 	log.SetFlags(0)
-
-	fmt.Println("DCQCN phase margin (degrees) — negative = unstable")
-	fmt.Println()
-	delays := []float64{1e-6, 25e-6, 50e-6, 85e-6, 100e-6}
-	fmt.Printf("%6s", "N")
-	for _, d := range delays {
-		fmt.Printf("%10.0fµs", d*1e6)
+	if err := run(os.Stdout, false); err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println()
+}
+
+// run prints the phase-margin tables. Everything here is analytical
+// (linearisation plus a frequency sweep), so quick and full runs are the
+// same computation; the flag exists for symmetry with the other examples.
+func run(w io.Writer, quick bool) error {
+	_ = quick
+
+	fmt.Fprintln(w, "DCQCN phase margin (degrees) — negative = unstable")
+	fmt.Fprintln(w)
+	delays := []float64{1e-6, 25e-6, 50e-6, 85e-6, 100e-6}
+	fmt.Fprintf(w, "%6s", "N")
+	for _, d := range delays {
+		fmt.Fprintf(w, "%10.0fµs", d*1e6)
+	}
+	fmt.Fprintln(w)
 	for _, n := range []int{1, 2, 4, 8, 10, 16, 32, 64} {
-		fmt.Printf("%6d", n)
+		fmt.Fprintf(w, "%6d", n)
 		for _, d := range delays {
 			p := ecndelay.DefaultDCQCNParams(n)
 			p.TauStar = d
 			loop, err := ecndelay.NewDCQCNLoop(p)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			res, err := ecndelay.PhaseMargin(loop)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			marker := " "
 			if !res.Stable {
 				marker = "*"
 			}
-			fmt.Printf("%11s", fmt.Sprintf("%.1f%s", res.PhaseMarginDeg, marker))
+			fmt.Fprintf(w, "%11s", fmt.Sprintf("%.1f%s", res.PhaseMarginDeg, marker))
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
-	fmt.Println("\n(*) unstable: note the dip around N≈8-16 at high delay, recovering for many flows —")
-	fmt.Println("the non-monotonic behaviour §3.2 derives. Tuning R_AI down or K_max up lifts the valley:")
+	fmt.Fprintln(w, "\n(*) unstable: note the dip around N≈8-16 at high delay, recovering for many flows —")
+	fmt.Fprintln(w, "the non-monotonic behaviour §3.2 derives. Tuning R_AI down or K_max up lifts the valley:")
 
 	for _, tune := range []struct {
 		name string
@@ -64,34 +76,35 @@ func main() {
 		tune.mod(&p)
 		loop, err := ecndelay.NewDCQCNLoop(p)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		res, err := ecndelay.PhaseMargin(loop)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("  N=10, τ*=85µs, %-36s → %+6.1f°\n", tune.name, res.PhaseMarginDeg)
+		fmt.Fprintf(w, "  N=10, τ*=85µs, %-36s → %+6.1f°\n", tune.name, res.PhaseMarginDeg)
 	}
 
-	fmt.Println("\nPatched TIMELY phase margin vs N (Figure 11)")
-	fmt.Println()
-	fmt.Printf("%6s %14s %14s\n", "N", "q* (KB, Eq.31)", "margin (deg)")
+	fmt.Fprintln(w, "\nPatched TIMELY phase margin vs N (Figure 11)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%6s %14s %14s\n", "N", "q* (KB, Eq.31)", "margin (deg)")
 	for _, n := range []int{2, 5, 10, 20, 30, 40, 50, 64} {
 		cfg := ecndelay.DefaultPatchedTimelyFluidConfig(n)
 		loop, err := ecndelay.NewPatchedTimelyLoop(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		res, err := ecndelay.PhaseMargin(loop)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		sys, err := ecndelay.NewPatchedTimelyFluid(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%6d %14.1f %14.1f\n", n, sys.FixedPointQueue()/1000, res.PhaseMarginDeg)
+		fmt.Fprintf(w, "%6d %14.1f %14.1f\n", n, sys.FixedPointQueue()/1000, res.PhaseMarginDeg)
 	}
-	fmt.Println("\nDelay-based control cannot escape this: the queue IS the signal, so more flows mean")
-	fmt.Println("more queue, more feedback lag, less margin. ECN marked on egress never couples the two.")
+	fmt.Fprintln(w, "\nDelay-based control cannot escape this: the queue IS the signal, so more flows mean")
+	fmt.Fprintln(w, "more queue, more feedback lag, less margin. ECN marked on egress never couples the two.")
+	return nil
 }

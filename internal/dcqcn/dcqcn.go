@@ -11,6 +11,7 @@ import (
 
 	"ecndelay/internal/des"
 	"ecndelay/internal/netsim"
+	"ecndelay/internal/obs"
 )
 
 // Params are the DCQCN knobs of [31] (Table 1), in wire units: rates in
@@ -128,6 +129,10 @@ type Endpoint struct {
 	rxBytes map[int]int64
 	// OnComplete, if set, fires when a flow's last packet arrives here.
 	OnComplete func(Completion)
+
+	// ctr is the endpoint's bound counter set; nil when the network has no
+	// observer (or no metrics registry) attached.
+	ctr *obs.EndpointCounters
 }
 
 type npState struct {
@@ -148,6 +153,7 @@ func NewEndpoint(h *netsim.Host, p Params) (*Endpoint, error) {
 		rx:      make(map[int]*rxState),
 		rxBytes: make(map[int]int64),
 	}
+	e.bindObs()
 	h.Transport = e
 	return e, nil
 }
@@ -162,6 +168,9 @@ func (e *Endpoint) Handle(h *netsim.Host, pkt *netsim.Packet) {
 		e.handleData(pkt)
 	case netsim.CNP:
 		if s, ok := e.flows[pkt.Flow]; ok {
+			if e.ctr != nil {
+				e.ctr.CNPRx.Inc()
+			}
 			s.onCNP()
 		}
 	case netsim.Ack:
@@ -182,6 +191,9 @@ func (e *Endpoint) handleData(pkt *netsim.Packet) {
 		return
 	}
 	e.rxBytes[pkt.Flow] += int64(pkt.Size)
+	if e.ctr != nil {
+		e.ctr.RxBytes.Add(int64(pkt.Size))
+	}
 	e.maybeCNP(pkt)
 	if pkt.Last && e.OnComplete != nil {
 		e.OnComplete(Completion{Flow: pkt.Flow, Bytes: e.rxBytes[pkt.Flow], At: e.host.Now()})
@@ -208,6 +220,9 @@ func (e *Endpoint) maybeCNP(pkt *netsim.Packet) {
 		cnp.Dst = pkt.Src
 		cnp.Size = netsim.CtrlSize
 		cnp.Kind = netsim.CNP
+		if e.ctr != nil {
+			e.ctr.CNPTx.Inc()
+		}
 		e.host.Send(cnp)
 	}
 }
@@ -356,6 +371,7 @@ func (s *Sender) sendNext() {
 	if s.e.p.Recovery {
 		if s.sent < s.maxSent {
 			s.retxBytes += size
+			s.obsRetx(size, s.sent)
 		}
 	}
 	s.sent += size

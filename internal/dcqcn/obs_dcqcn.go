@@ -1,0 +1,43 @@
+package dcqcn
+
+import (
+	"fmt"
+
+	"ecndelay/internal/netsim"
+	"ecndelay/internal/obs"
+)
+
+// Observability binding: the endpoint registers its counter set when it is
+// created on a network that already has an observer attached (attach the
+// observer first). Every hook site below is a nil check when observability
+// is off, so unobserved runs are untouched.
+
+// bindObs registers the endpoint's counters under "dcqcn.n<hostID>".
+func (e *Endpoint) bindObs() {
+	o := e.host.Net().Observer()
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	e.ctr = o.Metrics.EndpointCounters(fmt.Sprintf("dcqcn.n%d", e.host.ID()))
+}
+
+// obsRetx records one retransmitted packet (counters plus a trace record).
+func (s *Sender) obsRetx(size, seq int64) {
+	e := s.e
+	if e.ctr != nil {
+		e.ctr.RetxPkts.Inc()
+		e.ctr.RetxBytes.Add(size)
+	}
+	if o := e.host.Net().Observer(); o != nil {
+		o.Emit(obs.Event{
+			T:    e.host.Now(),
+			Type: obs.Retx,
+			Kind: uint8(netsim.Data),
+			Node: int32(e.host.ID()),
+			Peer: int32(s.dst),
+			Flow: int32(s.id),
+			Size: int32(size),
+			Seq:  seq,
+		})
+	}
+}

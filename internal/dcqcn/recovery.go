@@ -39,6 +39,9 @@ func (e *Endpoint) recvData(pkt *netsim.Packet) {
 		st.exp += size
 		st.pending += size
 		e.rxBytes[pkt.Flow] += size
+		if e.ctr != nil {
+			e.ctr.RxBytes.Add(size)
+		}
 		if pkt.Last || !st.sigged || st.pending >= e.p.AckBytes ||
 			now.Sub(st.lastSig) >= e.p.AckInterval {
 			e.signal(pkt, netsim.Ack, st, now)
@@ -69,6 +72,13 @@ func (e *Endpoint) recvData(pkt *netsim.Packet) {
 func (e *Endpoint) signal(data *netsim.Packet, kind netsim.Kind, st *rxState, now des.Time) {
 	st.sigged = true
 	st.lastSig = now
+	if e.ctr != nil {
+		if kind == netsim.Ack {
+			e.ctr.AcksTx.Inc()
+		} else {
+			e.ctr.NacksTx.Inc()
+		}
+	}
 	pkt := e.host.Net().NewPacket()
 	pkt.Flow = data.Flow
 	pkt.Dst = data.Src
@@ -161,6 +171,9 @@ func (s *Sender) onRTO() {
 		return
 	}
 	s.rtos++
+	if s.e.ctr != nil {
+		s.e.ctr.RTOs.Inc()
+	}
 	if s.rtoShift < 16 {
 		s.rtoShift++ // exponential backoff, capped by RTOMax in armRTO
 	}

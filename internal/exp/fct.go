@@ -7,6 +7,7 @@ import (
 	"ecndelay/internal/des"
 	"ecndelay/internal/fault"
 	"ecndelay/internal/netsim"
+	"ecndelay/internal/obs"
 	"ecndelay/internal/stats"
 	"ecndelay/internal/timely"
 	"ecndelay/internal/workload"
@@ -71,6 +72,13 @@ type FCTConfig struct {
 	// SwitchQueueCap bounds every switch egress queue in bytes (0:
 	// unbounded, the lossless default); overflow tail-drops.
 	SwitchQueueCap int
+
+	// Observer attaches the observability layer to the run's network. When
+	// it carries a ProbeSet, the run registers a "queue_bytes" probe on the
+	// bottleneck at the observer's cadence; when it carries a Checker, the
+	// end-of-run conservation closure is checked automatically. Nil — the
+	// default — keeps the run bit-identical to an unobserved one.
+	Observer *obs.NetObserver
 }
 
 // FCTResult aggregates one run.
@@ -117,6 +125,11 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 
 	const linkBW = 10e9 / 8 // bytes/s
 	nw := netsim.New(cfg.Seed)
+	if cfg.Observer != nil {
+		// Before the topology and endpoints exist, so ports and protocol
+		// engines bind their counters as they are created.
+		nw.SetObserver(cfg.Observer)
+	}
 	var marker netsim.MarkerFactory
 	if cfg.Protocol == ProtoDCQCN {
 		marker = func() netsim.Marker {
@@ -285,10 +298,19 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 	}
 
 	res.Queue = netsim.MonitorQueueBytes(nw.Sim, d.Bottleneck, cfg.QueueSampleEvery)
+	if o := cfg.Observer; o != nil && o.Probes != nil {
+		q := d.Bottleneck.Queue()
+		o.Probes.NewProbe("queue_bytes", 0).Drive(nw.Sim, o.ProbeCadence(), func() float64 {
+			return float64(q.Bytes())
+		})
+	}
 	var txAtWarm, txAtEnd int64
 	nw.Sim.At(des.Time(des.DurationFromSeconds(cfg.Warmup)), func() { txAtWarm = d.Bottleneck.TxBytes })
 	nw.Sim.At(des.Time(des.DurationFromSeconds(cfg.Horizon)), func() { txAtEnd = d.Bottleneck.TxBytes })
 	nw.Sim.RunUntil(des.Time(des.DurationFromSeconds(cfg.Horizon + cfg.Drain)))
+	if o := cfg.Observer; o != nil && o.Check != nil {
+		o.Check.Finish(nw.Sim.Now())
+	}
 	res.Utilisation = float64(txAtEnd-txAtWarm) / (linkBW * (cfg.Horizon - cfg.Warmup))
 	res.Unfinished = res.Generated - res.Completed
 	res.RawTxBytes = d.Bottleneck.TxBytes

@@ -1,0 +1,190 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ecndelay/internal/des"
+	"ecndelay/internal/obs"
+	"ecndelay/internal/sweep"
+)
+
+var update = flag.Bool("update", false, "rewrite golden testdata files")
+
+// Fault injection under go-back-N recovery must not break any invariant:
+// wire loss happens after the dequeue, so queue conservation, bounds, and
+// the pool discipline all hold even while packets die and retransmit.
+func TestFaultLossRunCleanInvariants(t *testing.T) {
+	for _, proto := range []Protocol{ProtoDCQCN, ProtoTimely} {
+		t.Run(proto.String(), func(t *testing.T) {
+			o := obs.Full()
+			r, err := RunFCT(FCTConfig{
+				Protocol: proto, LoadFactor: 0.6,
+				Horizon: 0.02, Warmup: 0.004, Drain: 0.2, Seed: 7,
+				DataLossRate: 1e-3, CtrlLossRate: 1e-2,
+				FaultSeed: 42, Recovery: true,
+				Observer: o,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.WireDrops == 0 {
+				t.Fatal("no injected loss; scenario not exercising the fault path")
+			}
+			// RunFCT already ran the Finish closure; Err reports the verdict.
+			if err := o.Check.Err(); err != nil {
+				t.Errorf("invariants violated under injected loss: %v", err)
+			}
+			if o.Trace.Count(obs.WireDrop) != r.WireDrops {
+				t.Errorf("trace wire drops %d, result reports %d",
+					o.Trace.Count(obs.WireDrop), r.WireDrops)
+			}
+			if o.Trace.Count(obs.Retx) == 0 {
+				t.Error("recovery retransmitted nothing despite loss")
+			}
+		})
+	}
+}
+
+// A finite-buffer run (tail drops instead of lossless PFC) is also clean:
+// the BufDrop path never enqueued, so the books still balance.
+func TestFiniteBufferRunCleanInvariants(t *testing.T) {
+	o := obs.Full()
+	r, err := RunFCT(FCTConfig{
+		Protocol: ProtoDCQCN, LoadFactor: 0.9,
+		Horizon: 0.02, Warmup: 0.004, Drain: 0.2, Seed: 3,
+		SwitchQueueCap: 30000, Recovery: true,
+		Observer: o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BufferDrops == 0 {
+		t.Skip("no tail drops at this load; nothing to verify")
+	}
+	if err := o.Check.Err(); err != nil {
+		t.Errorf("invariants violated with finite buffers: %v", err)
+	}
+	if o.Trace.Count(obs.BufDrop) != r.BufferDrops {
+		t.Errorf("trace buf drops %d, result reports %d",
+			o.Trace.Count(obs.BufDrop), r.BufferDrops)
+	}
+}
+
+// goldenCfg is the fixed-seed scenario behind the golden trajectories: small
+// enough to run in CI, long enough for the queue to shape up.
+func goldenCfg(proto Protocol) FCTConfig {
+	return FCTConfig{
+		Protocol: proto, LoadFactor: 1.5, // overdriven so the queue builds
+		Horizon: 0.01, Warmup: 0.002, Drain: 0.1, Seed: 42,
+	}
+}
+
+// goldenProbeJSONL runs the golden scenario with a fresh observer and
+// returns the canonical probe export.
+func goldenProbeJSONL(t *testing.T, proto Protocol) []byte {
+	t.Helper()
+	o := &obs.NetObserver{Probes: obs.NewProbeSet(), ProbeEvery: 100 * des.Microsecond}
+	cfg := goldenCfg(proto)
+	cfg.Observer = o
+	if _, err := RunFCT(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := o.Probes.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The probe trajectory of a fixed-seed run is a golden artifact: any drift
+// in the simulator, the protocols, or the probe encoding shows up as a
+// byte diff. Regenerate with: go test ./internal/exp -run Golden -update
+func TestGoldenProbeTrajectories(t *testing.T) {
+	for _, proto := range []Protocol{ProtoDCQCN, ProtoTimely} {
+		t.Run(proto.String(), func(t *testing.T) {
+			got := goldenProbeJSONL(t, proto)
+			if len(got) == 0 {
+				t.Fatal("probe export is empty")
+			}
+			path := filepath.Join("testdata", fmt.Sprintf("golden_probe_%s.jsonl", proto))
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("probe trajectory drifted from %s (%d vs %d bytes); regenerate with -update only if the change is intended",
+					path, len(got), len(want))
+			}
+			// And a second run in the same process is byte-identical.
+			if again := goldenProbeJSONL(t, proto); !bytes.Equal(got, again) {
+				t.Error("same-seed rerun produced a different trajectory")
+			}
+		})
+	}
+}
+
+// The same trajectories through the sweep engine: each job owns a fresh
+// observer, so the export is byte-identical whether jobs run on one worker
+// or race across four.
+func TestGoldenProbeAcrossSweepWorkers(t *testing.T) {
+	protos := []Protocol{ProtoDCQCN, ProtoTimely}
+	runAll := func(workers int) map[string][]byte {
+		var mu sync.Mutex
+		out := make(map[string][]byte)
+		jobs := make([]sweep.Job, len(protos))
+		for i, proto := range protos {
+			proto := proto
+			jobs[i] = sweep.Job{
+				ID: proto.String(),
+				Run: func(int64) (map[string]float64, error) {
+					o := &obs.NetObserver{Probes: obs.NewProbeSet(), ProbeEvery: 100 * des.Microsecond}
+					cfg := goldenCfg(proto)
+					cfg.Observer = o
+					if _, err := RunFCT(cfg); err != nil {
+						return nil, err
+					}
+					var buf bytes.Buffer
+					if err := o.Probes.WriteJSONL(&buf); err != nil {
+						return nil, err
+					}
+					mu.Lock()
+					out[proto.String()] = buf.Bytes()
+					mu.Unlock()
+					return map[string]float64{"ok": 1}, nil
+				},
+			}
+		}
+		if _, err := sweep.Run(sweep.Config{Workers: workers}, jobs, &sweep.MemorySink{}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := runAll(1)
+	parallel := runAll(4)
+	for _, proto := range protos {
+		if !bytes.Equal(serial[proto.String()], parallel[proto.String()]) {
+			t.Errorf("%s: trajectory differs between 1 and 4 sweep workers", proto)
+		}
+		want, err := os.ReadFile(filepath.Join("testdata", fmt.Sprintf("golden_probe_%s.jsonl", proto)))
+		if err != nil {
+			t.Fatalf("%v (regenerate with -update)", err)
+		}
+		if !bytes.Equal(serial[proto.String()], want) {
+			t.Errorf("%s: sweep-engine trajectory differs from the golden file", proto)
+		}
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"ecndelay/internal/obs"
 )
 
 // Scale selects the experiment fidelity.
@@ -26,6 +28,10 @@ const (
 type Options struct {
 	Scale Scale
 	Seed  int64
+	// Observer, when non-nil, is attached to every network the runner
+	// builds: counters, traces, probes and invariants accumulate there.
+	// Nil — the default — leaves runs bit-identical to unobserved ones.
+	Observer *obs.NetObserver
 }
 
 // Table is a rendered block of experiment output.

@@ -65,6 +65,7 @@ func runFig14(o Options) (*Report, error) {
 			r, err := RunFCT(FCTConfig{
 				Protocol: proto, LoadFactor: load,
 				Horizon: horizon, Warmup: warmup, Drain: drain, Seed: o.Seed,
+				Observer: o.Observer,
 			})
 			if err != nil {
 				return nil, err
@@ -101,6 +102,7 @@ func runFig15(o Options) (*Report, error) {
 		r, err := RunFCT(FCTConfig{
 			Protocol: proto, LoadFactor: 0.8,
 			Horizon: horizon, Warmup: warmup, Drain: drain, Seed: o.Seed,
+			Observer: o.Observer,
 		})
 		if err != nil {
 			return nil, err
@@ -133,6 +135,7 @@ func runFig16(o Options) (*Report, error) {
 		r, err := RunFCT(FCTConfig{
 			Protocol: proto, LoadFactor: 0.8,
 			Horizon: horizon, Warmup: warmup, Drain: drain, Seed: o.Seed,
+			Observer: o.Observer,
 		})
 		if err != nil {
 			return nil, err

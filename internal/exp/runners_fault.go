@@ -49,6 +49,7 @@ func runFaultLoss(o Options) (*Report, error) {
 				DataLossRate: rate, CtrlLossRate: rate,
 				FaultSeed: o.Seed + 100,
 				Recovery:  true,
+				Observer:  o.Observer,
 			})
 			if err != nil {
 				return nil, err

@@ -126,6 +126,10 @@ func (p *Plan) Validate() error {
 			}
 		}
 		for j, f := range lf.Flaps {
+			if f.DownAt < 0 || f.UpAt < 0 {
+				return fmt.Errorf("fault: link %d flap %d has a negative time (down %v, up %v)",
+					i, j, f.DownAt, f.UpAt)
+			}
 			if f.UpAt != 0 && f.UpAt <= f.DownAt {
 				return fmt.Errorf("fault: link %d flap %d comes up at %v, not after down at %v",
 					i, j, f.UpAt, f.DownAt)

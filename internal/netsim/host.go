@@ -65,6 +65,9 @@ func (h *Host) Receive(pkt *Packet) {
 		h.net.FreePacket(pkt)
 		return
 	}
+	if h.net.obs != nil {
+		h.obsDeliver(pkt)
+	}
 	if h.Transport != nil {
 		h.Transport.Handle(h, pkt)
 	}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"ecndelay/internal/des"
+	"ecndelay/internal/obs"
 )
 
 // Node is anything attached to the network fabric.
@@ -27,10 +28,15 @@ type Network struct {
 	Sim   *des.Simulator
 	Rng   *rand.Rand
 	nodes []Node
+	ports []*Port
 	pktID uint64
 
 	pktFree []*Packet
 	pooling bool
+
+	// obs is the attached observability layer; nil — the default — keeps
+	// every hook site a single pointer check (see SetObserver).
+	obs *obs.NetObserver
 }
 
 // New creates an empty network with a deterministic RNG.
@@ -111,6 +117,10 @@ type Port struct {
 	wireDrops int64 // packets lost on the wire (fault hook or flap)
 	watch     *watchedPort
 
+	// ctr is the port's bound counter set; nil when no observer (or no
+	// metrics registry) is attached.
+	ctr *obs.PortCounters
+
 	// TxBytes counts payload transmitted, for utilisation accounting.
 	TxBytes int64
 }
@@ -132,14 +142,23 @@ func (nw *Network) NewPort(owner, peer Node, bandwidth float64, prop des.Duratio
 		Bandwidth: bandwidth, PropDelay: prop,
 		queue: NewQueue(m),
 	}
+	p.queue.port = p
 	if sw, ok := owner.(*Switch); ok {
 		p.ownerSwitch = sw
 	}
 	if sm, ok := m.(startableMarker); ok {
 		sm.Start(nw.Sim, p.queue)
 	}
+	nw.ports = append(nw.ports, p)
+	if nw.obs != nil {
+		p.bindObs()
+	}
 	return p
 }
+
+// Ports returns every port wired into the network, in creation order (the
+// live slice; treat as read-only).
+func (nw *Network) Ports() []*Port { return nw.ports }
 
 // Queue exposes the egress queue (monitoring, tests).
 func (p *Port) Queue() *Queue { return p.queue }
@@ -206,6 +225,12 @@ func (p *Port) pause() {
 	if p.watch != nil {
 		p.watch.onPause()
 	}
+	if p.net.obs != nil {
+		if p.ctr != nil {
+			p.ctr.Pauses.Inc()
+		}
+		p.obsEvent(obs.Pause, nil)
+	}
 }
 
 func (p *Port) unpause() {
@@ -213,6 +238,12 @@ func (p *Port) unpause() {
 		p.paused = false
 		if p.watch != nil {
 			p.watch.onUnpause()
+		}
+		if p.net.obs != nil {
+			if p.ctr != nil {
+				p.ctr.Resumes.Inc()
+			}
+			p.obsEvent(obs.Resume, nil)
 		}
 	}
 	p.tryTx()
@@ -229,6 +260,9 @@ func (p *Port) OnEvent(arg any) {
 	pkt := arg.(*Packet)
 	if p.down {
 		p.wireDrops++
+		if p.net.obs != nil {
+			p.obsWireDrop(pkt)
+		}
 		p.net.FreePacket(pkt)
 		return
 	}
@@ -244,6 +278,10 @@ func (p *Port) tryTx() {
 	p.txPkt = pkt
 	txTime := des.DurationFromSeconds(float64(pkt.Size) / p.Bandwidth)
 	p.TxBytes += int64(pkt.Size)
+	if p.ctr != nil {
+		p.ctr.TxBytes.Add(int64(pkt.Size))
+		p.ctr.TxPkts.Inc()
+	}
 	p.net.Sim.ScheduleHandler(txTime, p, nil)
 }
 
@@ -261,6 +299,9 @@ func (p *Port) txDone() {
 	}
 	if p.down || (p.hook != nil && p.hook.DropTx(pkt)) {
 		p.wireDrops++
+		if p.net.obs != nil {
+			p.obsWireDrop(pkt)
+		}
 		p.net.FreePacket(pkt)
 		p.tryTx()
 		return

@@ -1,0 +1,136 @@
+package netsim
+
+import (
+	"fmt"
+
+	"ecndelay/internal/obs"
+)
+
+// Observability binding. The hooks follow the nil-hook pattern of the
+// fault subsystem: without an observer attached every hook site is a
+// single nil check on an already-loaded pointer, so unobserved runs are
+// bit-identical to pre-observability builds and stay allocation-free.
+// With an observer attached, ports bind their counters once (at attach
+// time) and the per-packet path only touches atomics and emits value-type
+// events — still allocation-free after warm-up.
+
+// SetObserver attaches (or, with nil, detaches) the observability layer.
+// Ports already wired bind their counters immediately; ports created
+// later bind as they are created. Attach before running: counters only
+// accumulate from the moment they are bound.
+func (nw *Network) SetObserver(o *obs.NetObserver) {
+	nw.obs = o
+	for _, p := range nw.ports {
+		p.bindObs()
+	}
+}
+
+// Observer reports the attached observability layer (nil when detached).
+func (nw *Network) Observer() *obs.NetObserver { return nw.obs }
+
+// PortName is the canonical metric prefix for the directed port from owner
+// to peer, e.g. "port.n0-n2".
+func PortName(owner, peer int) string {
+	return fmt.Sprintf("port.n%d-n%d", owner, peer)
+}
+
+// Local aliases so queue.go's hook sites avoid an obs import of their own.
+const (
+	obsEnqueue = obs.Enqueue
+	obsDequeue = obs.Dequeue
+)
+
+// bindObs registers the port's counter set with the observer's registry.
+// Called when the port is created or when an observer is attached.
+func (p *Port) bindObs() {
+	o := p.net.obs
+	if o == nil || o.Metrics == nil {
+		p.ctr = nil
+		return
+	}
+	p.ctr = o.Metrics.PortCounters(PortName(p.owner.ID(), p.peer.ID()))
+}
+
+// obsEvent fills the port-invariant fields of a trace record and routes it
+// through the observer. The caller has already checked p.net.obs != nil.
+func (p *Port) obsEvent(typ obs.EventType, pkt *Packet) {
+	e := obs.Event{
+		T:    p.net.Sim.Now(),
+		Type: typ,
+		Node: int32(p.owner.ID()),
+		Peer: int32(p.peer.ID()),
+	}
+	if pkt != nil {
+		e.Kind = uint8(pkt.Kind)
+		e.Flow = int32(pkt.Flow)
+		e.Size = int32(pkt.Size)
+		e.Pkt = pkt.ID
+		e.Seq = pkt.Seq
+	}
+	e.QLen = int32(p.queue.Len())
+	e.QBytes = int64(p.queue.Bytes())
+	e.QCap = int64(p.queue.CapBytes())
+	p.net.obs.Emit(e)
+}
+
+// obsQueue reports queue events from Push/Pop: the enqueue/dequeue record
+// plus a Mark record when the marking policy set CE during the operation.
+func (p *Port) obsQueue(typ obs.EventType, pkt *Packet, ceBefore bool) {
+	p.obsEvent(typ, pkt)
+	if !ceBefore && pkt.CE {
+		if p.ctr != nil {
+			p.ctr.Marks.Inc()
+		}
+		p.obsEvent(obs.Mark, pkt)
+	}
+}
+
+// obsBufDrop records a tail drop at the finite egress queue.
+func (p *Port) obsBufDrop(pkt *Packet) {
+	if p.ctr != nil {
+		p.ctr.BufDrops.Inc()
+	}
+	p.obsEvent(obs.BufDrop, pkt)
+}
+
+// obsWireDrop records a packet lost on the wire (fault hook or link flap).
+func (p *Port) obsWireDrop(pkt *Packet) {
+	if p.ctr != nil {
+		p.ctr.WireDrops.Inc()
+	}
+	p.obsEvent(obs.WireDrop, pkt)
+}
+
+// obsDeliver records a packet landing at its destination host.
+func (h *Host) obsDeliver(pkt *Packet) {
+	o := h.net.obs
+	if o == nil {
+		return
+	}
+	o.Emit(obs.Event{
+		T:    h.net.Sim.Now(),
+		Type: obs.Deliver,
+		Kind: uint8(pkt.Kind),
+		Node: int32(h.id),
+		Peer: int32(pkt.Src),
+		Flow: int32(pkt.Flow),
+		Size: int32(pkt.Size),
+		Pkt:  pkt.ID,
+		Seq:  pkt.Seq,
+	})
+}
+
+// obsDoubleFree records a pooled packet freed twice.
+func (nw *Network) obsDoubleFree(pkt *Packet) {
+	nw.obs.Emit(obs.Event{
+		T:    nw.Sim.Now(),
+		Type: obs.DoubleFree,
+		Kind: uint8(pkt.Kind),
+		Node: -1,
+		Peer: -1,
+		Flow: int32(pkt.Flow),
+		Size: int32(pkt.Size),
+		Pkt:  pkt.ID,
+		Seq:  pkt.Seq,
+	})
+}

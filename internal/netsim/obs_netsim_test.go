@@ -1,0 +1,356 @@
+package netsim
+
+import (
+	"testing"
+
+	"ecndelay/internal/des"
+	"ecndelay/internal/obs"
+)
+
+// The obs package renders packet kinds from a name table it cannot derive
+// from netsim (importing it would cycle); this test pins the value
+// correspondence.
+func TestObsKindNamesMatchNetsim(t *testing.T) {
+	want := map[Kind]string{
+		Data: "data", Ack: "ack", CNP: "cnp",
+		Pause: "pause", Resume: "resume", Nack: "nack",
+	}
+	for k, name := range want {
+		if got := obs.KindName(uint8(k)); got != name {
+			t.Errorf("obs.KindName(%d) = %q, want %q (netsim.%v)", k, got, name, k)
+		}
+	}
+}
+
+// observedNet builds a network with every obs facility attached before any
+// topology exists, so all counters bind at creation.
+func observedNet(seed int64) (*Network, *obs.NetObserver) {
+	nw := New(seed)
+	nw.SetPooling(true)
+	o := obs.Full()
+	nw.SetObserver(o)
+	return nw, o
+}
+
+func TestObsCountersMatchGroundTruth(t *testing.T) {
+	nw, o := observedNet(3)
+	star := NewStar(nw, StarConfig{
+		Senders: 2,
+		Link:    LinkConfig{Bandwidth: 1.25e8, PropDelay: des.Microsecond},
+		Mark: func() Marker {
+			return &REDMarker{Kmin: 1000, Kmax: 5000, Pmax: 0.5, Rng: nw.Rng}
+		},
+		SwitchQueueCap: 20000,
+	})
+	delivered, marked := 0, 0
+	star.Receiver.Transport = TransportFunc(func(h *Host, pkt *Packet) {
+		delivered++
+		if pkt.CE {
+			marked++
+		}
+	})
+	for _, s := range star.Senders {
+		for i := 0; i < 300; i++ {
+			pkt := nw.NewPacket()
+			pkt.Dst = star.Receiver.ID()
+			pkt.Size = DataMTU
+			pkt.Kind = Data
+			pkt.ECT = true
+			s.Send(pkt)
+		}
+	}
+	nw.Sim.Run()
+
+	bn := PortName(star.Switch.ID(), star.Receiver.ID())
+	reg := o.Metrics
+	if got, want := reg.Counter(bn+".tx_bytes").Value(), star.Bottleneck.TxBytes; got != want {
+		t.Errorf("%s.tx_bytes = %d, ground truth %d", bn, got, want)
+	}
+	if got, want := reg.Counter(bn+".buf_drops").Value(), star.Bottleneck.Queue().Drops(); got != want {
+		t.Errorf("%s.buf_drops = %d, ground truth %d", bn, got, want)
+	}
+	if got, want := reg.Counter(bn+".marks").Value(), int64(marked); got != want {
+		t.Errorf("%s.marks = %d, receiver saw %d CE packets", bn, got, want)
+	}
+	if marked == 0 || star.Bottleneck.Queue().Drops() == 0 {
+		t.Fatalf("scenario not exercising marks (%d) and drops (%d)", marked, star.Bottleneck.Queue().Drops())
+	}
+	// Trace totals agree with the counters and with delivery.
+	if got := o.Trace.Count(obs.Mark); got != int64(marked) {
+		t.Errorf("trace marks %d, want %d", got, marked)
+	}
+	if got := o.Trace.Count(obs.BufDrop); got != star.Bottleneck.Queue().Drops() {
+		t.Errorf("trace buf drops %d, want %d", got, star.Bottleneck.Queue().Drops())
+	}
+	if got := o.Trace.Count(obs.Deliver); got != int64(delivered) {
+		t.Errorf("trace delivers %d, want %d", got, delivered)
+	}
+	// All queues drained: enqueues and dequeues must balance.
+	if enq, deq := o.Trace.Count(obs.Enqueue), o.Trace.Count(obs.Dequeue); enq != deq {
+		t.Errorf("enq %d != deq %d with all queues drained", enq, deq)
+	}
+	// And the invariant checker saw nothing wrong end to end.
+	o.Check.Finish(nw.Sim.Now())
+	if err := o.Check.Err(); err != nil {
+		t.Errorf("invariants violated on a healthy run: %v", err)
+	}
+}
+
+func TestObsWireDropCounter(t *testing.T) {
+	nw := New(5)
+	o := obs.Full()
+	nw.SetObserver(o)
+	rx := nw.NewHost()
+	tx := nw.NewHost()
+	tx.Connect(rx, 1.25e8, des.Microsecond, nil)
+	rx.Connect(tx, 1.25e8, des.Microsecond, nil)
+	rx.Transport = TransportFunc(func(h *Host, pkt *Packet) {})
+	for i := 0; i < 10; i++ {
+		tx.Send(&Packet{Dst: rx.ID(), Size: DataMTU, Kind: Data})
+	}
+	// Take the link down mid-flight: everything still in the pipe or the
+	// queue is lost on the wire.
+	nw.Sim.At(des.Time(20*des.Microsecond), func() { tx.Port().SetLinkDown(true) })
+	nw.Sim.Run()
+	if tx.Port().WireDrops() == 0 {
+		t.Fatal("scenario lost nothing; cannot validate the counter")
+	}
+	name := PortName(tx.ID(), rx.ID()) + ".wire_drops"
+	if got, want := o.Metrics.Counter(name).Value(), tx.Port().WireDrops(); got != want {
+		t.Errorf("%s = %d, ground truth %d", name, got, want)
+	}
+	if got := o.Trace.Count(obs.WireDrop); got != tx.Port().WireDrops() {
+		t.Errorf("trace wire drops %d, want %d", got, tx.Port().WireDrops())
+	}
+}
+
+// A PFC scenario: pauses and resumes alternate, the counters match the
+// trace, and the pairing invariant holds on a genuine run.
+func TestObsPFCCleanAndCounted(t *testing.T) {
+	nw, o := observedNet(7)
+	star := NewStar(nw, StarConfig{
+		Senders: 2,
+		Link:    LinkConfig{Bandwidth: 1.25e8, PropDelay: des.Microsecond},
+		PFC:     PFCConfig{PauseBytes: 3000, ResumeBytes: 1000},
+	})
+	star.Receiver.Transport = TransportFunc(func(h *Host, pkt *Packet) {})
+	for i := 0; i < 100; i++ {
+		for _, s := range star.Senders {
+			pkt := nw.NewPacket()
+			pkt.Dst = star.Receiver.ID()
+			pkt.Size = DataMTU
+			pkt.Kind = Data
+			s.Send(pkt)
+		}
+	}
+	nw.Sim.Run()
+	pauses, resumes := o.Trace.Count(obs.Pause), o.Trace.Count(obs.Resume)
+	if pauses == 0 {
+		t.Fatal("PFC never engaged; scenario broken")
+	}
+	if pauses != resumes {
+		t.Errorf("pauses %d != resumes %d after full drain", pauses, resumes)
+	}
+	var ctrPauses, ctrResumes int64
+	for _, m := range o.Metrics.Snapshot() {
+		switch {
+		case len(m.Name) > 7 && m.Name[len(m.Name)-7:] == ".pauses":
+			ctrPauses += m.Value
+		case len(m.Name) > 8 && m.Name[len(m.Name)-8:] == ".resumes":
+			ctrResumes += m.Value
+		}
+	}
+	if ctrPauses != pauses || ctrResumes != resumes {
+		t.Errorf("counters (%d,%d) disagree with trace (%d,%d)", ctrPauses, ctrResumes, pauses, resumes)
+	}
+	o.Check.Finish(nw.Sim.Now())
+	if err := o.Check.Err(); err != nil {
+		t.Errorf("invariants violated on a healthy PFC run: %v", err)
+	}
+}
+
+// Freeing a pooled packet twice is detected when an observer watches, and
+// the pool is protected from the corrupting second push.
+func TestObsDoubleFreeDetected(t *testing.T) {
+	nw := New(1)
+	nw.SetPooling(true)
+	o := obs.Full()
+	nw.SetObserver(o)
+	pkt := nw.NewPacket()
+	pkt.ID = 42
+	nw.FreePacket(pkt)
+	if got := nw.PoolSize(); got != 1 {
+		t.Fatalf("PoolSize = %d after first free, want 1", got)
+	}
+	nw.FreePacket(pkt)
+	if got := o.Check.Count(obs.InvDoubleFree); got != 1 {
+		t.Errorf("double-free violations = %d, want 1", got)
+	}
+	if got := o.Trace.Count(obs.DoubleFree); got != 1 {
+		t.Errorf("double-free trace events = %d, want 1", got)
+	}
+	if got := nw.PoolSize(); got != 1 {
+		t.Errorf("PoolSize = %d after double free, want 1 (second push rejected)", got)
+	}
+	// Legitimate reuse does not trip the detector.
+	again := nw.NewPacket()
+	nw.FreePacket(again)
+	if got := o.Check.Count(obs.InvDoubleFree); got != 1 {
+		t.Errorf("legitimate free counted as double free (%d violations)", got)
+	}
+}
+
+// Attaching a full observer must not perturb the simulation: same seed,
+// same traffic, same event count, same clock, observer on or off.
+func TestObsOnOffDeterminism(t *testing.T) {
+	run := func(observe bool) (processed uint64, now des.Time, delivered int, tx int64) {
+		nw := New(11)
+		nw.SetPooling(true)
+		if observe {
+			nw.SetObserver(obs.Full())
+		}
+		star := NewStar(nw, StarConfig{
+			Senders: 3,
+			Link:    LinkConfig{Bandwidth: 1.25e9, PropDelay: des.Microsecond},
+			Mark: func() Marker {
+				return &REDMarker{Kmin: 1000, Kmax: 5000, Pmax: 0.5, Rng: nw.Rng}
+			},
+			PFC: PFCConfig{PauseBytes: 50000, ResumeBytes: 20000},
+		})
+		star.Receiver.Transport = TransportFunc(func(h *Host, pkt *Packet) {
+			delivered++
+		})
+		for _, s := range star.Senders {
+			for i := 0; i < 500; i++ {
+				pkt := nw.NewPacket()
+				pkt.Dst = star.Receiver.ID()
+				pkt.Size = DataMTU
+				pkt.Kind = Data
+				pkt.ECT = true
+				s.Send(pkt)
+			}
+		}
+		nw.Sim.Run()
+		return nw.Sim.Processed(), nw.Sim.Now(), delivered, star.Bottleneck.TxBytes
+	}
+	p1, t1, d1, x1 := run(true)
+	p2, t2, d2, x2 := run(false)
+	if p1 != p2 || t1 != t2 || d1 != d2 || x1 != x2 {
+		t.Errorf("observed run (%d,%v,%d,%d) != unobserved run (%d,%v,%d,%d)",
+			p1, t1, d1, x1, p2, t2, d2, x2)
+	}
+}
+
+// The packet hot path must stay allocation-free with a full observer
+// attached, once counters are bound, checker port entries exist, and the
+// memory sink has hit its retention limit.
+func TestObservedHotPathAllocFree(t *testing.T) {
+	nw, tx, rx := twoHopChain(1)
+	o := obs.Full()
+	sink := obs.NewMemorySink(256)
+	sink.Limit = 256
+	o.Trace.AddSink(sink)
+	nw.SetObserver(o)
+	delivered := 0
+	rx.Transport = TransportFunc(func(h *Host, pkt *Packet) { delivered++ })
+	drive := func() {
+		for i := 0; i < 32; i++ {
+			pkt := nw.NewPacket()
+			pkt.Dst = rx.ID()
+			pkt.Size = DataMTU
+			pkt.Kind = Data
+			pkt.ECT = true
+			tx.Send(pkt)
+		}
+		nw.Sim.Run()
+	}
+	drive() // warm pools, counters, checker state, and fill the sink
+	drive()
+	if allocs := testing.AllocsPerRun(50, drive); allocs != 0 {
+		t.Errorf("observed packet hot path allocates %.1f allocs/run, want 0", allocs)
+	}
+	if delivered == 0 {
+		t.Fatal("no packets delivered")
+	}
+	o.Check.Finish(nw.Sim.Now())
+	if err := o.Check.Err(); err != nil {
+		t.Errorf("invariants violated: %v", err)
+	}
+}
+
+// SetObserver after ports exist still binds their counters (late attach).
+func TestObsLateAttachBindsExistingPorts(t *testing.T) {
+	nw := New(1)
+	rx := nw.NewHost()
+	tx := nw.NewHost()
+	tx.Connect(rx, 1.25e9, des.Microsecond, nil)
+	rx.Connect(tx, 1.25e9, des.Microsecond, nil)
+	o := obs.Full()
+	nw.SetObserver(o) // ports already created
+	rx.Transport = TransportFunc(func(h *Host, pkt *Packet) {})
+	tx.Send(&Packet{Dst: rx.ID(), Size: DataMTU, Kind: Data})
+	nw.Sim.Run()
+	name := PortName(tx.ID(), rx.ID()) + ".tx_bytes"
+	if got := o.Metrics.Counter(name).Value(); got != DataMTU {
+		t.Errorf("%s = %d after late attach, want %d", name, got, DataMTU)
+	}
+	// Detaching stops everything without disturbing the run.
+	nw.SetObserver(nil)
+	tx.Send(&Packet{Dst: rx.ID(), Size: DataMTU, Kind: Data})
+	nw.Sim.Run()
+	if got := o.Metrics.Counter(name).Value(); got != DataMTU {
+		t.Errorf("%s = %d after detach, want unchanged %d", name, got, DataMTU)
+	}
+}
+
+// The parking-lot topology under cross traffic keeps every invariant:
+// multi-hop store-and-forward, two trunks, all queues drained.
+func TestObsParkingLotCleanInvariants(t *testing.T) {
+	nw, o := observedNet(9)
+	pl := NewParkingLot(nw, ParkingLotConfig{
+		Hops: 3,
+		Link: LinkConfig{Bandwidth: 1.25e8, PropDelay: des.Microsecond},
+	})
+	for _, r := range pl.Recvs {
+		r.Transport = TransportFunc(func(h *Host, pkt *Packet) {})
+	}
+	for i := 0; i < 50; i++ {
+		pl.Senders[0].Send(&Packet{Dst: pl.Recvs[2].ID(), Size: DataMTU, Kind: Data})
+		pl.Senders[1].Send(&Packet{Dst: pl.Recvs[1].ID(), Size: DataMTU, Kind: Data})
+		pl.Senders[2].Send(&Packet{Dst: pl.Recvs[0].ID(), Size: DataMTU, Kind: Data})
+	}
+	nw.Sim.Run()
+	if o.Trace.Count(obs.Deliver) != 150 {
+		t.Fatalf("delivered %d, want 150", o.Trace.Count(obs.Deliver))
+	}
+	o.Check.Finish(nw.Sim.Now())
+	if err := o.Check.Err(); err != nil {
+		t.Errorf("parking-lot invariants violated: %v", err)
+	}
+}
+
+// A PFC pause storm long enough to trip the watchdog still satisfies the
+// pairing invariant: storms are a performance pathology, not a protocol
+// violation, and the checker must not confuse the two.
+func TestObsWatchdogStormCleanPairing(t *testing.T) {
+	nw, o := observedNet(13)
+	rx := nw.NewHost()
+	tx := nw.NewHost()
+	p := tx.Connect(rx, 1.25e8, des.Microsecond, nil)
+	wd := NewPFCWatchdog(nw.Sim, 100*des.Microsecond)
+	wd.Watch(p)
+	nw.Sim.At(des.Time(10*des.Microsecond), func() { p.pause() })
+	nw.Sim.At(des.Time(15*des.Microsecond), func() { p.pause() }) // idempotent re-pause: absorbed
+	nw.Sim.At(des.Time(500*des.Microsecond), func() { p.unpause() })
+	nw.Sim.Run()
+	if wd.Storms() != 1 {
+		t.Fatalf("storms = %d, want 1 (scenario must trip the watchdog)", wd.Storms())
+	}
+	if got := o.Trace.Count(obs.Pause); got != 1 {
+		t.Errorf("trace pauses = %d, want 1 (re-pause is not a transition)", got)
+	}
+	o.Check.Finish(nw.Sim.Now())
+	if err := o.Check.Err(); err != nil {
+		t.Errorf("storm run violated invariants: %v", err)
+	}
+}

@@ -73,4 +73,9 @@ type Packet struct {
 	Bytes  int      // Ack: payload bytes covered by this completion event
 
 	ingress int // switch-internal: ingress port index while buffered
+
+	// inPool marks a packet currently sitting in the free list, letting the
+	// observability layer detect double frees. Always false on a packet
+	// handed out by NewPacket (it is part of the all-fields-zero contract).
+	inPool bool
 }

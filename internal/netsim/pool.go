@@ -17,6 +17,7 @@ func (nw *Network) NewPacket() *Packet {
 		pkt := nw.pktFree[n-1]
 		nw.pktFree[n-1] = nil
 		nw.pktFree = nw.pktFree[:n-1]
+		pkt.inPool = false
 		return pkt
 	}
 	return &Packet{}
@@ -30,7 +31,15 @@ func (nw *Network) FreePacket(pkt *Packet) {
 	if !nw.pooling {
 		return
 	}
+	if pkt.inPool && nw.obs != nil {
+		// Double free: the packet is already in the free list. Report it
+		// and leave the pool untouched — appending it again would hand the
+		// same struct to two owners later.
+		nw.obsDoubleFree(pkt)
+		return
+	}
 	*pkt = Packet{}
+	pkt.inPool = true
 	nw.pktFree = append(nw.pktFree, pkt)
 }
 

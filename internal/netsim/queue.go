@@ -20,6 +20,10 @@ type Queue struct {
 	drops    int64
 	dropped  int64 // bytes
 	mark     Marker
+
+	// port is the owning port, set by NewPort; nil for standalone queues
+	// (tests), which then emit no observability events.
+	port *Port
 }
 
 // NewQueue builds a queue with the given marking policy (nil means no
@@ -58,8 +62,12 @@ func (q *Queue) Push(pkt *Packet) bool {
 	if q.capBytes > 0 && q.bytes+pkt.Size > q.capBytes && q.Len() > 0 {
 		q.drops++
 		q.dropped += int64(pkt.Size)
+		if q.port != nil && q.port.net.obs != nil {
+			q.port.obsBufDrop(pkt)
+		}
 		return false
 	}
+	ceBefore := pkt.CE
 	q.pkts = append(q.pkts, pkt)
 	q.bytes += pkt.Size
 	if q.mark != nil && q.mark.AtEnqueue() {
@@ -70,6 +78,9 @@ func (q *Queue) Push(pkt *Packet) bool {
 		n := copy(q.pkts, q.pkts[q.head:])
 		q.pkts = q.pkts[:n]
 		q.head = 0
+	}
+	if q.port != nil && q.port.net.obs != nil {
+		q.port.obsQueue(obsEnqueue, pkt, ceBefore)
 	}
 	return true
 }
@@ -83,6 +94,7 @@ func (q *Queue) Pop() *Packet {
 		return nil
 	}
 	pkt := q.pkts[q.head]
+	ceBefore := pkt.CE
 	if q.mark != nil && !q.mark.AtEnqueue() {
 		q.mark.Mark(q, pkt)
 	}
@@ -95,6 +107,9 @@ func (q *Queue) Pop() *Packet {
 	if q.head == len(q.pkts) {
 		q.pkts = q.pkts[:0]
 		q.head = 0
+	}
+	if q.port != nil && q.port.net.obs != nil {
+		q.port.obsQueue(obsDequeue, pkt, ceBefore)
 	}
 	return pkt
 }

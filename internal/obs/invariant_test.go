@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"ecndelay/internal/des"
+)
+
+// queueEvent builds a consistent enqueue/dequeue record for port 0->1.
+func queueEvent(typ EventType, size int32, qLen int32, qBytes int64) Event {
+	return Event{Type: typ, Node: 0, Peer: 1, Size: size, QLen: qLen, QBytes: qBytes}
+}
+
+func TestCheckerCleanStream(t *testing.T) {
+	c := NewChecker()
+	// Two packets through one queue, fully drained: every invariant holds.
+	c.Feed(queueEvent(Enqueue, 1000, 1, 1000))
+	c.Feed(queueEvent(Enqueue, 500, 2, 1500))
+	c.Feed(queueEvent(Dequeue, 1000, 1, 500))
+	c.Feed(queueEvent(Dequeue, 500, 0, 0))
+	c.Feed(Event{Type: Pause, Node: 0, Peer: 1})
+	c.Feed(Event{Type: Resume, Node: 0, Peer: 1})
+	c.Finish(des.Time(des.Second))
+	if c.Total() != 0 {
+		t.Fatalf("clean stream produced %d violations: %v", c.Total(), c.Violations())
+	}
+	if c.Err() != nil {
+		t.Fatalf("Err = %v on a clean stream", c.Err())
+	}
+}
+
+func TestCheckerConservationFires(t *testing.T) {
+	c := NewChecker()
+	c.Feed(queueEvent(Enqueue, 1000, 1, 1000))
+	// Queue self-reports 900 bytes after a 1000-byte enqueue onto an empty
+	// queue: the books disagree with the hardware.
+	c.Feed(queueEvent(Enqueue, 1000, 2, 1900))
+	if got := c.Count(InvConservation); got != 1 {
+		t.Fatalf("Count(InvConservation) = %d, want 1", got)
+	}
+	// The checker resyncs after a divergence: the same consistent stream
+	// continuing from the reported state raises nothing further.
+	c.Feed(queueEvent(Dequeue, 1000, 1, 900))
+	if got := c.Count(InvConservation); got != 1 {
+		t.Fatalf("post-resync Count = %d, want still 1 (one divergence, one violation)", got)
+	}
+}
+
+func TestCheckerEndOfRunConservationFires(t *testing.T) {
+	c := NewChecker()
+	c.Feed(queueEvent(Enqueue, 1000, 1, 1000))
+	// Dequeue reports fewer bytes than were enqueued and the queue claims
+	// empty: running checks resync, but end-of-run closure must notice the
+	// enq != deq + queued imbalance.
+	c.Feed(queueEvent(Dequeue, 600, 0, 0))
+	before := c.Total()
+	c.Finish(des.Time(42))
+	if c.Count(InvConservation) <= before {
+		t.Fatal("Finish did not flag the end-of-run byte imbalance")
+	}
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "conservation") {
+		t.Fatalf("Err = %v, want a conservation summary", err)
+	}
+}
+
+func TestCheckerQueueBoundsFires(t *testing.T) {
+	t.Run("negative", func(t *testing.T) {
+		c := NewChecker()
+		c.Feed(queueEvent(Dequeue, 100, -1, -100))
+		if c.Count(InvQueueBounds) == 0 {
+			t.Fatal("negative queue occupancy not flagged")
+		}
+	})
+	t.Run("empty-with-bytes", func(t *testing.T) {
+		c := NewChecker()
+		e := queueEvent(Enqueue, 100, 0, 100)
+		c.Feed(e)
+		if c.Count(InvQueueBounds) == 0 {
+			t.Fatal("empty queue holding bytes not flagged")
+		}
+	})
+	t.Run("over-capacity", func(t *testing.T) {
+		c := NewChecker()
+		// One over-cap tail packet is the admit rule and must pass...
+		one := queueEvent(Enqueue, 1500, 1, 1500)
+		one.QCap = 1000
+		c.Feed(one)
+		if c.Count(InvQueueBounds) != 0 {
+			t.Fatal("single over-cap packet wrongly flagged (admit rule)")
+		}
+		// ...but standing above capacity with multiple packets queued is a
+		// broken queue.
+		two := queueEvent(Enqueue, 1500, 2, 3000)
+		two.QCap = 1000
+		c.Feed(two)
+		if c.Count(InvQueueBounds) == 0 {
+			t.Fatal("multi-packet over-capacity queue not flagged")
+		}
+	})
+}
+
+func TestCheckerPFCPairingFires(t *testing.T) {
+	t.Run("double-pause", func(t *testing.T) {
+		c := NewChecker()
+		c.Feed(Event{Type: Pause, Node: 0, Peer: 1})
+		c.Feed(Event{Type: Pause, Node: 0, Peer: 1})
+		if c.Count(InvPFCPairing) != 1 {
+			t.Fatalf("Count = %d, want 1", c.Count(InvPFCPairing))
+		}
+	})
+	t.Run("resume-unpaused", func(t *testing.T) {
+		c := NewChecker()
+		c.Feed(Event{Type: Resume, Node: 0, Peer: 1})
+		if c.Count(InvPFCPairing) != 1 {
+			t.Fatalf("Count = %d, want 1", c.Count(InvPFCPairing))
+		}
+	})
+	t.Run("ports-independent", func(t *testing.T) {
+		c := NewChecker()
+		c.Feed(Event{Type: Pause, Node: 0, Peer: 1})
+		c.Feed(Event{Type: Pause, Node: 2, Peer: 1}) // different port: fine
+		c.Feed(Event{Type: Resume, Node: 0, Peer: 1})
+		c.Feed(Event{Type: Resume, Node: 2, Peer: 1})
+		if c.Total() != 0 {
+			t.Fatalf("independent ports cross-contaminated: %v", c.Violations())
+		}
+	})
+}
+
+func TestCheckerDoubleFreeFires(t *testing.T) {
+	c := NewChecker()
+	c.Feed(Event{T: des.Time(7), Type: DoubleFree, Pkt: 99, Flow: 3})
+	if c.Count(InvDoubleFree) != 1 {
+		t.Fatalf("Count = %d, want 1", c.Count(InvDoubleFree))
+	}
+	v := c.Violations()
+	if len(v) != 1 || v[0].Invariant != InvDoubleFree || !strings.Contains(v[0].Detail, "99") {
+		t.Fatalf("violation record %+v", v)
+	}
+	if got := v[0].String(); !strings.Contains(got, "double-free") {
+		t.Errorf("violation renders as %q, want the invariant name in it", got)
+	}
+}
+
+func TestCheckerViolationStorm(t *testing.T) {
+	c := NewChecker()
+	for i := 0; i < 200; i++ {
+		c.Feed(Event{Type: DoubleFree, Pkt: uint64(i)})
+	}
+	if got := c.Total(); got != 200 {
+		t.Fatalf("Total = %d, want 200 (counts keep counting past the detail cap)", got)
+	}
+	if got := len(c.Violations()); got != maxViolationDetails {
+		t.Fatalf("stored %d violation details, want the %d cap", got, maxViolationDetails)
+	}
+}
+
+func TestCheckerFeedAllocFree(t *testing.T) {
+	c := NewChecker()
+	enq := queueEvent(Enqueue, 1000, 1, 1000)
+	deq := queueEvent(Dequeue, 1000, 0, 0)
+	// Warm the per-port map entry.
+	c.Feed(enq)
+	c.Feed(deq)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Feed(enq)
+		c.Feed(deq)
+	}); n != 0 {
+		t.Fatalf("Feed allocates %.2f per pair after warm-up, want 0", n)
+	}
+}
+
+func TestObserverEmitRouting(t *testing.T) {
+	o := Full()
+	m := NewMemorySink(4)
+	o.Trace.AddSink(m)
+	o.Emit(Event{Type: DoubleFree, Pkt: 1})
+	if o.Trace.Count(DoubleFree) != 1 {
+		t.Error("Emit did not reach the tracer")
+	}
+	if o.Check.Count(InvDoubleFree) != 1 {
+		t.Error("Emit did not reach the checker")
+	}
+	if len(m.Events()) != 1 {
+		t.Error("Emit did not reach the sink")
+	}
+	// Partially-populated observers route only what exists.
+	part := &NetObserver{Trace: NewTracer()}
+	part.Emit(Event{Type: Mark})
+	if part.Trace.Count(Mark) != 1 {
+		t.Error("partial observer dropped the event")
+	}
+}
+
+func TestProbeCadenceDefault(t *testing.T) {
+	o := &NetObserver{}
+	if got := o.ProbeCadence(); got != 100*des.Microsecond {
+		t.Errorf("default cadence %v, want 100µs", got)
+	}
+	o.ProbeEvery = des.Millisecond
+	if got := o.ProbeCadence(); got != des.Millisecond {
+		t.Errorf("configured cadence %v, want 1ms", got)
+	}
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("port.n0-n1.tx_bytes")
+	c1.Add(10)
+	c2 := r.Counter("port.n0-n1.tx_bytes")
+	if c1 != c2 {
+		t.Fatal("second lookup returned a different counter")
+	}
+	c2.Inc()
+	if got := c1.Value(); got != 11 {
+		t.Fatalf("counter value %d, want 11", got)
+	}
+
+	g1 := r.Gauge("queue.depth")
+	g1.Set(42)
+	g2 := r.Gauge("queue.depth")
+	if g1 != g2 {
+		t.Fatal("second lookup returned a different gauge")
+	}
+	g2.Set(7)
+	if got := g1.Value(); got != 7 {
+		t.Fatalf("gauge value %d, want 7 (last write wins)", got)
+	}
+
+	// A counter and a gauge may share a name without colliding: they live
+	// in separate namespaces.
+	if r.Counter("queue.depth").Value() != 0 {
+		t.Error("counter namespace leaked into gauge namespace")
+	}
+}
+
+func TestRegistrySnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Add(3)
+	r.Counter("a.first").Add(1)
+	r.Gauge("m.middle").Set(2)
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d entries, want 3", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+	if snap[0].Name != "a.first" || snap[0].Value != 1 || snap[0].Gauge {
+		t.Errorf("first entry %+v", snap[0])
+	}
+	if snap[1].Name != "m.middle" || !snap[1].Gauge {
+		t.Errorf("gauge entry %+v", snap[1])
+	}
+}
+
+func TestRegistryWriteTSV(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	var sb strings.Builder
+	if err := r.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a\t1\nb\t2\n"
+	if sb.String() != want {
+		t.Fatalf("TSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestPortAndEndpointCounterNames(t *testing.T) {
+	r := NewRegistry()
+	pc := r.PortCounters("port.n0-n1")
+	pc.TxBytes.Add(1000)
+	pc.Marks.Inc()
+	ec := r.EndpointCounters("dcqcn.n2")
+	ec.CNPTx.Inc()
+	ec.RetxBytes.Add(512)
+
+	wantNames := []string{
+		"dcqcn.n2.acks_tx", "dcqcn.n2.cnp_rx", "dcqcn.n2.cnp_tx",
+		"dcqcn.n2.nacks_tx", "dcqcn.n2.retx_bytes", "dcqcn.n2.retx_pkts",
+		"dcqcn.n2.rtos", "dcqcn.n2.rx_bytes",
+		"port.n0-n1.buf_drops", "port.n0-n1.marks", "port.n0-n1.pauses",
+		"port.n0-n1.resumes", "port.n0-n1.tx_bytes", "port.n0-n1.tx_pkts",
+		"port.n0-n1.wire_drops",
+	}
+	snap := r.Snapshot()
+	if len(snap) != len(wantNames) {
+		t.Fatalf("snapshot has %d entries, want %d", len(snap), len(wantNames))
+	}
+	for i, m := range snap {
+		if m.Name != wantNames[i] {
+			t.Errorf("entry %d: name %q, want %q", i, m.Name, wantNames[i])
+		}
+	}
+	if r.Counter("port.n0-n1.tx_bytes").Value() != 1000 {
+		t.Error("PortCounters did not bind the shared registry counter")
+	}
+	if r.Counter("dcqcn.n2.retx_bytes").Value() != 512 {
+		t.Error("EndpointCounters did not bind the shared registry counter")
+	}
+}
+
+func TestCounterAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot")
+	g := r.Gauge("hot")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		c.Inc()
+		g.Set(c.Value())
+	}); n != 0 {
+		t.Fatalf("counter/gauge hot path allocates %.1f per op, want 0", n)
+	}
+}

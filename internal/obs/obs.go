@@ -1,0 +1,98 @@
+// Package obs is the observability layer of the simulator: hierarchical
+// counters and gauges, fixed-cadence time-series probes backed by
+// preallocated ring buffers, a pooled-buffer event-trace facility with
+// pluggable sinks, and a runtime invariant checker fed by the same event
+// stream.
+//
+// The package deliberately knows nothing about the network simulator: every
+// hook carries plain integers (node ids, byte counts, packet kinds as raw
+// bytes), so internal/netsim and the protocol endpoints can import obs
+// without a dependency cycle. Instrumentation follows the nil-hook pattern
+// of internal/fault: a network without an observer attached executes
+// exactly the pre-observability code (one nil pointer check per hook site),
+// keeping fault-free, observer-free runs bit-identical and the hot path at
+// zero allocations. With an observer attached, counters are atomic adds,
+// trace records are value types encoded into reused buffers, and checker
+// state lives in maps warmed on first touch — so an observed run is also
+// allocation-free after warm-up.
+package obs
+
+import (
+	"sync"
+
+	"ecndelay/internal/des"
+)
+
+// NetObserver bundles the observability facilities a simulation run may
+// attach: any field may be nil, and a nil *NetObserver disables everything.
+// The same observer may be shared by concurrent runs (the sweep engine):
+// counters are atomic and the tracer and checker serialise internally.
+type NetObserver struct {
+	// Metrics receives hierarchical counters registered by ports, hosts
+	// and protocol endpoints at attach/creation time.
+	Metrics *Registry
+	// Trace receives one Event per instrumented simulator action.
+	Trace *Tracer
+	// Check feeds the same events through the runtime invariant checker.
+	Check *Checker
+	// Probes collects auto-registered time-series probes (bottleneck
+	// queue depth and similar); experiment harnesses add their own.
+	Probes *ProbeSet
+	// ProbeEvery is the sampling cadence for auto-registered probes
+	// (zero: 100 µs). See EXPERIMENTS.md for cadence guidance.
+	ProbeEvery des.Duration
+}
+
+// Emit routes one event to the tracer and the invariant checker. Callers
+// guard the observer itself for nil; Emit guards its facilities.
+func (o *NetObserver) Emit(e Event) {
+	if o.Trace != nil {
+		o.Trace.Emit(e)
+	}
+	if o.Check != nil {
+		o.Check.Feed(e)
+	}
+}
+
+// ProbeCadence reports the configured probe cadence, defaulted.
+func (o *NetObserver) ProbeCadence() des.Duration {
+	if o.ProbeEvery > 0 {
+		return o.ProbeEvery
+	}
+	return 100 * des.Microsecond
+}
+
+// Full returns an observer with every facility enabled: a fresh registry,
+// a tracer with no sinks (attach some, or use Counts), a checker, and a
+// probe set. Convenient for tests that want everything on.
+func Full() *NetObserver {
+	return &NetObserver{
+		Metrics: NewRegistry(),
+		Trace:   NewTracer(),
+		Check:   NewChecker(),
+		Probes:  NewProbeSet(),
+	}
+}
+
+// onceError latches the first error from a best-effort writer path.
+type onceError struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (o *onceError) set(err error) {
+	if err == nil {
+		return
+	}
+	o.mu.Lock()
+	if o.err == nil {
+		o.err = err
+	}
+	o.mu.Unlock()
+}
+
+func (o *onceError) get() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
+}

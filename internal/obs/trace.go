@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+
+	"ecndelay/internal/des"
+)
+
+// EventType labels one instrumented simulator action.
+type EventType uint8
+
+// The trace record types. Enqueue/Dequeue bracket a packet's time in an
+// egress queue; Mark is an ECN CE mark; Pause/Resume are genuine PFC state
+// transitions (idempotent re-pauses are absorbed upstream and never
+// traced); WireDrop and BufDrop are the two loss sites; Deliver is the
+// packet landing at its destination node; Retx is a protocol endpoint
+// re-sending below its high-water mark; DoubleFree is a pooled packet
+// freed twice (always a bug — the invariant checker flags it).
+const (
+	Enqueue EventType = iota
+	Dequeue
+	Mark
+	Pause
+	Resume
+	WireDrop
+	BufDrop
+	Deliver
+	Retx
+	DoubleFree
+	numEventTypes
+)
+
+var eventTypeNames = [numEventTypes]string{
+	"enq", "deq", "mark", "pause", "resume",
+	"wiredrop", "bufdrop", "deliver", "retx", "dfree",
+}
+
+func (t EventType) String() string {
+	if int(t) < len(eventTypeNames) {
+		return eventTypeNames[t]
+	}
+	return "?"
+}
+
+// kindNames mirrors the netsim.Kind constants by value (Data, Ack, CNP,
+// Pause, Resume, Nack); obs cannot import netsim without a cycle, so the
+// correspondence is pinned by a test in internal/netsim.
+var kindNames = [...]string{"data", "ack", "cnp", "pause", "resume", "nack"}
+
+// KindName renders a raw netsim packet kind for trace output.
+func KindName(k uint8) string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "?"
+}
+
+// Event is one trace record. It is a plain value — emitting one copies a
+// flat struct and allocates nothing. Node/Peer identify the port (one
+// directed port per (owner, peer) pair in netsim); fields that do not
+// apply to a record type are zero (Peer: -1 when portless).
+type Event struct {
+	T      des.Time  // simulation time, ns
+	Type   EventType // record type
+	Kind   uint8     // raw packet kind (see KindName)
+	Node   int32     // owner node id
+	Peer   int32     // peer node id, -1 when not port-scoped
+	Flow   int32     // flow id, -1 for control not tied to a flow
+	Size   int32     // packet payload bytes
+	QLen   int32     // queue length after the action (queue events)
+	QBytes int64     // queued bytes after the action (queue events)
+	QCap   int64     // configured queue capacity, 0 = unbounded
+	Pkt    uint64    // packet id
+	Seq    int64     // sequence/offset field
+}
+
+// Sink receives trace events. Implementations are called with the tracer's
+// lock held, in emission order; they must not call back into the tracer.
+type Sink interface {
+	Event(e Event)
+}
+
+// Tracer fans events out to its sinks and keeps per-type counts. Emission
+// is serialised by a mutex so one tracer can serve concurrent sweep jobs;
+// within one deterministic run the event order is itself deterministic.
+type Tracer struct {
+	mu     sync.Mutex
+	sinks  []Sink
+	counts [numEventTypes]int64
+}
+
+// NewTracer returns a tracer with no sinks (counts still accumulate).
+func NewTracer(sinks ...Sink) *Tracer {
+	return &Tracer{sinks: sinks}
+}
+
+// AddSink attaches a sink.
+func (t *Tracer) AddSink(s Sink) {
+	t.mu.Lock()
+	t.sinks = append(t.sinks, s)
+	t.mu.Unlock()
+}
+
+// Emit records one event.
+func (t *Tracer) Emit(e Event) {
+	t.mu.Lock()
+	if int(e.Type) < len(t.counts) {
+		t.counts[e.Type]++
+	}
+	for _, s := range t.sinks {
+		s.Event(e)
+	}
+	t.mu.Unlock()
+}
+
+// Count reports how many events of one type have been emitted.
+func (t *Tracer) Count(typ EventType) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(typ) >= len(t.counts) {
+		return 0
+	}
+	return t.counts[typ]
+}
+
+// Total reports the number of events emitted across all types.
+func (t *Tracer) Total() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for _, c := range t.counts {
+		n += c
+	}
+	return n
+}
+
+// MemorySink retains events in memory. Give it a capacity hint to keep
+// steady-state recording allocation-free; Limit (if positive) stops
+// retention after that many events (the count of dropped events is kept).
+type MemorySink struct {
+	Limit   int
+	events  []Event
+	dropped int64
+}
+
+// NewMemorySink preallocates room for capacity events (0: grow on demand).
+func NewMemorySink(capacity int) *MemorySink {
+	return &MemorySink{events: make([]Event, 0, capacity)}
+}
+
+// Event implements Sink.
+func (m *MemorySink) Event(e Event) {
+	if m.Limit > 0 && len(m.events) >= m.Limit {
+		m.dropped++
+		return
+	}
+	m.events = append(m.events, e)
+}
+
+// Events returns the retained records (the live slice; treat as read-only).
+func (m *MemorySink) Events() []Event { return m.events }
+
+// Dropped reports events discarded past Limit.
+func (m *MemorySink) Dropped() int64 { return m.dropped }
+
+// JSONLSink streams events as one JSON object per line through a buffered
+// writer, encoding into a reused scratch buffer — steady-state tracing
+// does not allocate. Call Flush (or Close) before reading the output; Err
+// latches the first write error (emission itself cannot fail).
+type JSONLSink struct {
+	bw  *bufio.Writer
+	buf []byte
+	err onceError
+	c   io.Closer
+}
+
+// NewJSONLSink wraps w. If w is also an io.Closer, Close closes it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{bw: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Event implements Sink.
+func (s *JSONLSink) Event(e Event) {
+	b := s.buf[:0]
+	b = append(b, `{"t_ns":`...)
+	b = strconv.AppendInt(b, int64(e.T), 10)
+	b = append(b, `,"type":"`...)
+	b = append(b, e.Type.String()...)
+	b = append(b, `","node":`...)
+	b = strconv.AppendInt(b, int64(e.Node), 10)
+	b = append(b, `,"peer":`...)
+	b = strconv.AppendInt(b, int64(e.Peer), 10)
+	b = append(b, `,"flow":`...)
+	b = strconv.AppendInt(b, int64(e.Flow), 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, KindName(e.Kind)...)
+	b = append(b, `","pkt":`...)
+	b = strconv.AppendUint(b, e.Pkt, 10)
+	b = append(b, `,"size":`...)
+	b = strconv.AppendInt(b, int64(e.Size), 10)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendInt(b, e.Seq, 10)
+	b = append(b, `,"qbytes":`...)
+	b = strconv.AppendInt(b, e.QBytes, 10)
+	b = append(b, `,"qlen":`...)
+	b = strconv.AppendInt(b, int64(e.QLen), 10)
+	b = append(b, '}', '\n')
+	s.buf = b
+	if _, err := s.bw.Write(b); err != nil {
+		s.err.set(err)
+	}
+}
+
+// Flush drains the write buffer.
+func (s *JSONLSink) Flush() error {
+	if err := s.bw.Flush(); err != nil {
+		s.err.set(err)
+	}
+	return s.err.get()
+}
+
+// Err reports the first write error, if any.
+func (s *JSONLSink) Err() error { return s.err.get() }
+
+// Close flushes and closes the underlying writer when it is closable.
+func (s *JSONLSink) Close() error {
+	err := s.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

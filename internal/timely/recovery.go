@@ -33,6 +33,9 @@ func (e *Endpoint) recvData(pkt *netsim.Packet) {
 		size := int64(pkt.Size)
 		st.exp += size
 		e.rxBytes[pkt.Flow] += size
+		if e.ctr != nil {
+			e.ctr.RxBytes.Add(size)
+		}
 		if pkt.AckReq || pkt.Last {
 			e.signal(pkt, netsim.Ack, st, now)
 		}
@@ -58,6 +61,13 @@ func (e *Endpoint) recvData(pkt *netsim.Packet) {
 func (e *Endpoint) signal(data *netsim.Packet, kind netsim.Kind, st *rxState, now des.Time) {
 	st.sigged = true
 	st.lastSig = now
+	if e.ctr != nil {
+		if kind == netsim.Ack {
+			e.ctr.AcksTx.Inc()
+		} else {
+			e.ctr.NacksTx.Inc()
+		}
+	}
 	pkt := e.host.Net().NewPacket()
 	pkt.Flow = data.Flow
 	pkt.Dst = data.Src
@@ -165,6 +175,9 @@ func (s *Sender) onRTO() {
 		return
 	}
 	s.rtos++
+	if s.e.ctr != nil {
+		s.e.ctr.RTOs.Inc()
+	}
 	if s.rtoShift < 16 {
 		s.rtoShift++ // exponential backoff, capped by RTOMax in armRTO
 	}

@@ -11,6 +11,7 @@ import (
 
 	"ecndelay/internal/des"
 	"ecndelay/internal/netsim"
+	"ecndelay/internal/obs"
 )
 
 // Params are the TIMELY knobs of [21], in wire units (bytes, bytes/s).
@@ -151,6 +152,10 @@ type Endpoint struct {
 	rxBytes map[int]int64
 	// OnComplete fires when a flow's last packet arrives here.
 	OnComplete func(Completion)
+
+	// ctr is the endpoint's bound counter set; nil when the network has no
+	// observer (or no metrics registry) attached.
+	ctr *obs.EndpointCounters
 }
 
 // NewEndpoint attaches a TIMELY engine to h.
@@ -165,6 +170,7 @@ func NewEndpoint(h *netsim.Host, p Params) (*Endpoint, error) {
 		rx:      make(map[int]*rxState),
 		rxBytes: make(map[int]int64),
 	}
+	e.bindObs()
 	h.Transport = e
 	return e, nil
 }
@@ -205,6 +211,9 @@ func (e *Endpoint) handleData(pkt *netsim.Packet) {
 		return
 	}
 	e.rxBytes[pkt.Flow] += int64(pkt.Size)
+	if e.ctr != nil {
+		e.ctr.RxBytes.Add(int64(pkt.Size))
+	}
 	if pkt.AckReq || pkt.Last {
 		ack := e.host.Net().NewPacket()
 		ack.Flow = pkt.Flow
@@ -213,6 +222,9 @@ func (e *Endpoint) handleData(pkt *netsim.Packet) {
 		ack.Kind = netsim.Ack
 		ack.EchoT = pkt.SentAt
 		ack.Bytes = pkt.Size
+		if e.ctr != nil {
+			e.ctr.AcksTx.Inc()
+		}
 		e.host.Send(ack)
 	}
 	if pkt.Last && e.OnComplete != nil {
@@ -301,6 +313,10 @@ func (s *Sender) Rate() float64 { return s.rate }
 // Gradient returns the current normalised RTT gradient.
 func (s *Sender) Gradient() float64 { return s.rttDiff / s.e.p.MinRTT.Seconds() }
 
+// RTT returns the most recent RTT sample (zero before the first
+// completion event) — the signal the probe layer samples.
+func (s *Sender) RTT() des.Duration { return s.prevRTT }
+
 // Done reports whether all bytes were handed to the NIC.
 func (s *Sender) Done() bool { return s.done }
 
@@ -368,6 +384,7 @@ func (s *Sender) nextPacket() *netsim.Packet {
 	pkt.AckReq = ackReq
 	if s.e.p.Recovery && s.sent < s.maxSent {
 		s.retxBytes += size
+		s.obsRetx(size, s.sent)
 	}
 	s.sent += size
 	if s.e.p.Recovery && s.sent > s.maxSent {
