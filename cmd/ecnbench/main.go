@@ -77,7 +77,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	// One shared observer serves every selected experiment (and worker):
-	// counters are atomic, the tracer and checker serialise internally.
+	// counters are atomic, the tracer and checker serialise internally,
+	// and the checker keeps per-network books, so metrics and invariant
+	// verdicts are the same for any -workers value. Probe series carry the
+	// experiment id as a name prefix (see JobObserver) and export
+	// deterministically; only the -trace stream interleaves experiments
+	// by completion order, so byte-stable traces need -workers 1.
 	var observer *ecndelay.Observer
 	var traceSink *ecndelay.TraceJSONLSink
 	if *metricsFile != "" || *traceFile != "" || *probeFile != "" || *invariants {
@@ -130,7 +135,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			ID: r.ID,
 			Run: func(int64) (map[string]float64, error) {
 				t0 := time.Now()
-				rep, err := r.Run(opts)
+				o := opts
+				o.Observer = ecndelay.JobObserver(opts.Observer, r.ID)
+				rep, err := r.Run(o)
 				elapsed[i] = time.Since(t0)
 				if err != nil {
 					return nil, err

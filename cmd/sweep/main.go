@@ -82,11 +82,13 @@ func run(args []string, stderr io.Writer) int {
 		}
 	}()
 
-	// One shared observer serves every job: counters are atomic and the
-	// checker serialises, so metrics and invariant results are identical
-	// for any -workers value. Trace and probe streams interleave jobs by
-	// completion, so byte-stable output there needs -workers 1. The pm
-	// grid is fluid-model only and never touches the observer.
+	// One shared observer serves every job: counters are atomic, the
+	// checker serialises and keeps per-network books, and each job's
+	// probes carry the job id as a name prefix (ExperimentSweepJobs), so
+	// metrics, invariant verdicts and the probe export are the same for
+	// any -workers value. Only the trace stream interleaves jobs by
+	// completion, so a byte-stable trace needs -workers 1. The pm grid is
+	// fluid-model only and never touches the observer.
 	var observer *ecndelay.Observer
 	var traceSink *ecndelay.TraceJSONLSink
 	if *metricsFile != "" || *traceFile != "" || *probeFile != "" || *invariants {

@@ -494,6 +494,12 @@ func MarshalSweepResults(rs []SweepResult) ([]byte, error) { return sweep.Marsha
 // pair from the registry. With an empty seeds slice each experiment
 // becomes a single job using the engine-derived seed; otherwise one
 // job per listed seed, pinned to it.
+//
+// A shared opts.Observer is safe for any worker count: each job runs with
+// a shallow copy of it whose ProbePrefix is extended with "<jobID>.", so
+// probes from different jobs land in the shared ProbeSet under distinct,
+// scheduling-independent names, and the invariant checker already scopes
+// its books per network run.
 func ExperimentSweepJobs(ids []string, opts ExperimentOptions, seeds []int64) ([]SweepJob, error) {
 	var jobs []SweepJob
 	for _, id := range ids {
@@ -501,7 +507,8 @@ func ExperimentSweepJobs(ids []string, opts ExperimentOptions, seeds []int64) ([
 		if !ok {
 			return nil, fmt.Errorf("unknown experiment %q", id)
 		}
-		runWith := func(o ExperimentOptions) (map[string]float64, error) {
+		runWith := func(jobID string, o ExperimentOptions) (map[string]float64, error) {
+			o.Observer = JobObserver(o.Observer, jobID)
 			rep, err := r.Run(o)
 			if err != nil {
 				return nil, err
@@ -509,31 +516,47 @@ func ExperimentSweepJobs(ids []string, opts ExperimentOptions, seeds []int64) ([
 			return rep.Metrics, nil
 		}
 		if len(seeds) == 0 {
+			jobID := r.ID
 			jobs = append(jobs, SweepJob{
-				ID:   r.ID,
+				ID:   jobID,
 				Meta: map[string]string{"exp": r.ID, "figure": r.Figure},
 				Run: func(seed int64) (map[string]float64, error) {
 					o := opts
 					o.Seed = seed
-					return runWith(o)
+					return runWith(jobID, o)
 				},
 			})
 			continue
 		}
 		for _, s := range seeds {
 			s := s
+			jobID := fmt.Sprintf("%s/seed%d", r.ID, s)
 			jobs = append(jobs, SweepJob{
-				ID:   fmt.Sprintf("%s/seed%d", r.ID, s),
+				ID:   jobID,
 				Meta: map[string]string{"exp": r.ID, "figure": r.Figure, "seed": fmt.Sprint(s)},
 				Run: func(int64) (map[string]float64, error) {
 					o := opts
 					o.Seed = s
-					return runWith(o)
+					return runWith(jobID, o)
 				},
 			})
 		}
 	}
 	return jobs, nil
+}
+
+// JobObserver returns a shallow copy of o with jobID appended to its
+// ProbePrefix, so per-job probe series registered on a shared ProbeSet
+// stay distinguishable and export deterministically. A nil observer stays
+// nil; the copy shares every facility (Metrics, Trace, Check, Probes)
+// with the original.
+func JobObserver(o *Observer, jobID string) *Observer {
+	if o == nil {
+		return nil
+	}
+	jo := *o
+	jo.ProbePrefix = jo.ProbePrefix + jobID + "."
+	return &jo
 }
 
 // ---- Observability (internal/obs) ----

@@ -158,3 +158,29 @@ func TestPublicExperimentAPI(t *testing.T) {
 		t.Errorf("unexpected report %+v", rep)
 	}
 }
+
+func TestPublicJobObserver(t *testing.T) {
+	if ecndelay.JobObserver(nil, "fig14") != nil {
+		t.Error("JobObserver(nil) must stay nil")
+	}
+	base := ecndelay.FullObserver()
+	jo := ecndelay.JobObserver(base, "fig14/seed1")
+	if jo == base {
+		t.Fatal("JobObserver must return a copy, not the original")
+	}
+	if jo.Probes != base.Probes || jo.Check != base.Check ||
+		jo.Trace != base.Trace || jo.Metrics != base.Metrics {
+		t.Error("the copy must share every facility with the original")
+	}
+	if got := jo.ProbeName("queue_bytes"); got != "fig14/seed1.queue_bytes" {
+		t.Errorf("qualified probe name %q", got)
+	}
+	// Prefixes compose, so nested orchestration keeps names unique.
+	nested := ecndelay.JobObserver(jo, "run2")
+	if got := nested.ProbeName("queue_bytes"); got != "fig14/seed1.run2.queue_bytes" {
+		t.Errorf("composed probe name %q", got)
+	}
+	if base.ProbePrefix != "" {
+		t.Error("JobObserver mutated the shared observer")
+	}
+}

@@ -74,11 +74,17 @@ type FCTConfig struct {
 	SwitchQueueCap int
 
 	// Observer attaches the observability layer to the run's network. When
-	// it carries a ProbeSet, the run registers a "queue_bytes" probe on the
-	// bottleneck at the observer's cadence; when it carries a Checker, the
-	// end-of-run conservation closure is checked automatically. Nil — the
-	// default — keeps the run bit-identical to an unobserved one.
+	// it carries a ProbeSet, the run registers a bottleneck-occupancy probe
+	// at the observer's cadence; when it carries a Checker, the end-of-run
+	// conservation closure is checked automatically. Nil — the default —
+	// keeps the run bit-identical to an unobserved one.
 	Observer *obs.NetObserver
+	// ProbeName names the auto-registered bottleneck probe (default
+	// "queue_bytes"), further qualified by the observer's ProbePrefix.
+	// Callers running several observed FCT configs against one ProbeSet
+	// (the fig14/15/16 load×protocol grids) set it per sub-run so the
+	// exported series stay distinguishable.
+	ProbeName string
 }
 
 // FCTResult aggregates one run.
@@ -299,8 +305,12 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 
 	res.Queue = netsim.MonitorQueueBytes(nw.Sim, d.Bottleneck, cfg.QueueSampleEvery)
 	if o := cfg.Observer; o != nil && o.Probes != nil {
+		name := cfg.ProbeName
+		if name == "" {
+			name = "queue_bytes"
+		}
 		q := d.Bottleneck.Queue()
-		o.Probes.NewProbe("queue_bytes", 0).Drive(nw.Sim, o.ProbeCadence(), func() float64 {
+		o.Probes.NewProbe(o.ProbeName(name), 0).Drive(nw.Sim, o.ProbeCadence(), func() float64 {
 			return float64(q.Bytes())
 		})
 	}

@@ -137,6 +137,88 @@ func TestGoldenProbeTrajectories(t *testing.T) {
 	}
 }
 
+// One shared observer — invariant checker included — across concurrent
+// sweep jobs whose networks all use identical node ids: run tags keep the
+// per-port books apart, so a healthy parallel sweep reports zero
+// violations for any worker count. Each job also runs two FCT configs back
+// to back against the same checker, covering sequential network reuse
+// inside one job (the fig14/15/16 pattern).
+func TestSharedCheckerAcrossSweepWorkers(t *testing.T) {
+	shared := obs.Full()
+	protos := []Protocol{ProtoDCQCN, ProtoTimely}
+	jobs := make([]sweep.Job, len(protos))
+	for i, proto := range protos {
+		proto := proto
+		jobs[i] = sweep.Job{
+			ID: proto.String(),
+			Run: func(int64) (map[string]float64, error) {
+				for run := 0; run < 2; run++ {
+					cfg := goldenCfg(proto)
+					cfg.Seed += int64(run)
+					cfg.Observer = shared
+					cfg.ProbeName = fmt.Sprintf("queue_bytes.run%d", run)
+					if _, err := RunFCT(cfg); err != nil {
+						return nil, err
+					}
+				}
+				return map[string]float64{"ok": 1}, nil
+			},
+		}
+	}
+	if _, err := sweep.Run(sweep.Config{Workers: 4}, jobs, &sweep.MemorySink{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := shared.Check.Err(); err != nil {
+		t.Errorf("shared checker flagged a healthy parallel sweep: %v", err)
+	}
+}
+
+// A shared ProbeSet exports byte-identically for any worker count once
+// each job qualifies its probe names — the JobObserver pattern the facade
+// and the cmd front-ends apply — because export order depends only on
+// names, never on job scheduling.
+func TestSharedProbeSetDeterministicAcrossWorkers(t *testing.T) {
+	protos := []Protocol{ProtoDCQCN, ProtoTimely}
+	runAll := func(workers int) []byte {
+		shared := &obs.NetObserver{Probes: obs.NewProbeSet(), ProbeEvery: 100 * des.Microsecond}
+		jobs := make([]sweep.Job, len(protos))
+		for i, proto := range protos {
+			proto := proto
+			jobs[i] = sweep.Job{
+				ID: proto.String(),
+				Run: func(int64) (map[string]float64, error) {
+					jo := *shared
+					jo.ProbePrefix = proto.String() + "."
+					cfg := goldenCfg(proto)
+					cfg.Observer = &jo
+					if _, err := RunFCT(cfg); err != nil {
+						return nil, err
+					}
+					return map[string]float64{"ok": 1}, nil
+				},
+			}
+		}
+		if _, err := sweep.Run(sweep.Config{Workers: workers}, jobs, &sweep.MemorySink{}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := shared.Probes.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := runAll(1)
+	parallel := runAll(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Error("shared probe export differs between 1 and 4 sweep workers")
+	}
+	for _, proto := range protos {
+		if !bytes.Contains(serial, []byte(fmt.Sprintf(`{"probe":"%s.queue_bytes"`, proto))) {
+			t.Errorf("export is missing the %s-prefixed series", proto)
+		}
+	}
+}
+
 // The same trajectories through the sweep engine: each job owns a fresh
 // observer, so the export is byte-identical whether jobs run on one worker
 // or race across four.

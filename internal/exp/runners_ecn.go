@@ -65,7 +65,8 @@ func runFig14(o Options) (*Report, error) {
 			r, err := RunFCT(FCTConfig{
 				Protocol: proto, LoadFactor: load,
 				Horizon: horizon, Warmup: warmup, Drain: drain, Seed: o.Seed,
-				Observer: o.Observer,
+				Observer:  o.Observer,
+				ProbeName: fmt.Sprintf("queue_bytes.load%.1f.%s", load, proto),
 			})
 			if err != nil {
 				return nil, err
@@ -102,7 +103,8 @@ func runFig15(o Options) (*Report, error) {
 		r, err := RunFCT(FCTConfig{
 			Protocol: proto, LoadFactor: 0.8,
 			Horizon: horizon, Warmup: warmup, Drain: drain, Seed: o.Seed,
-			Observer: o.Observer,
+			Observer:  o.Observer,
+			ProbeName: fmt.Sprintf("queue_bytes.%s", proto),
 		})
 		if err != nil {
 			return nil, err
@@ -135,7 +137,8 @@ func runFig16(o Options) (*Report, error) {
 		r, err := RunFCT(FCTConfig{
 			Protocol: proto, LoadFactor: 0.8,
 			Horizon: horizon, Warmup: warmup, Drain: drain, Seed: o.Seed,
-			Observer: o.Observer,
+			Observer:  o.Observer,
+			ProbeName: fmt.Sprintf("queue_bytes.%s", proto),
 		})
 		if err != nil {
 			return nil, err

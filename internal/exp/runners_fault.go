@@ -50,6 +50,7 @@ func runFaultLoss(o Options) (*Report, error) {
 				FaultSeed: o.Seed + 100,
 				Recovery:  true,
 				Observer:  o.Observer,
+				ProbeName: fmt.Sprintf("queue_bytes.loss%g.%s", rate, proto),
 			})
 			if err != nil {
 				return nil, err

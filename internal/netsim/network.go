@@ -37,6 +37,11 @@ type Network struct {
 	// obs is the attached observability layer; nil — the default — keeps
 	// every hook site a single pointer check (see SetObserver).
 	obs *obs.NetObserver
+	// obsRun is the process-unique tag stamped into this network's
+	// port-scoped events (obs.Event.Run), assigned when an observer
+	// attaches; it keeps a shared invariant checker's per-port books
+	// separate across networks with identical node ids.
+	obsRun uint32
 }
 
 // New creates an empty network with a deterministic RNG.

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ecndelay/internal/obs"
 )
@@ -14,12 +15,20 @@ import (
 // time) and the per-packet path only touches atomics and emits value-type
 // events — still allocation-free after warm-up.
 
+// obsRunSeq numbers observed networks process-wide; see obs.Event.Run.
+var obsRunSeq atomic.Uint32
+
 // SetObserver attaches (or, with nil, detaches) the observability layer.
 // Ports already wired bind their counters immediately; ports created
 // later bind as they are created. Attach before running: counters only
-// accumulate from the moment they are bound.
+// accumulate from the moment they are bound. Each attach stamps the
+// network with a fresh run tag (obs.Event.Run), so a shared checker keeps
+// this network's invariant books apart from every other observed run's.
 func (nw *Network) SetObserver(o *obs.NetObserver) {
 	nw.obs = o
+	if o != nil {
+		nw.obsRun = obsRunSeq.Add(1)
+	}
 	for _, p := range nw.ports {
 		p.bindObs()
 	}
@@ -57,6 +66,8 @@ func (p *Port) obsEvent(typ obs.EventType, pkt *Packet) {
 	e := obs.Event{
 		T:    p.net.Sim.Now(),
 		Type: typ,
+		Kind: obs.KindNone,
+		Run:  p.net.obsRun,
 		Node: int32(p.owner.ID()),
 		Peer: int32(p.peer.ID()),
 	}
@@ -111,6 +122,7 @@ func (h *Host) obsDeliver(pkt *Packet) {
 		T:    h.net.Sim.Now(),
 		Type: obs.Deliver,
 		Kind: uint8(pkt.Kind),
+		Run:  h.net.obsRun,
 		Node: int32(h.id),
 		Peer: int32(pkt.Src),
 		Flow: int32(pkt.Flow),
@@ -126,6 +138,7 @@ func (nw *Network) obsDoubleFree(pkt *Packet) {
 		T:    nw.Sim.Now(),
 		Type: obs.DoubleFree,
 		Kind: uint8(pkt.Kind),
+		Run:  nw.obsRun,
 		Node: -1,
 		Peer: -1,
 		Flow: int32(pkt.Flow),

@@ -169,6 +169,88 @@ func TestObsPFCCleanAndCounted(t *testing.T) {
 	}
 }
 
+// Pause/resume records carry no packet, so their kind must render as "-"
+// in the trace, never as a phantom data packet.
+func TestObsPauseResumeKindNone(t *testing.T) {
+	nw, o := observedNet(7)
+	ms := obs.NewMemorySink(0)
+	o.Trace.AddSink(ms)
+	star := NewStar(nw, StarConfig{
+		Senders: 2,
+		Link:    LinkConfig{Bandwidth: 1.25e8, PropDelay: des.Microsecond},
+		PFC:     PFCConfig{PauseBytes: 3000, ResumeBytes: 1000},
+	})
+	star.Receiver.Transport = TransportFunc(func(h *Host, pkt *Packet) {})
+	for i := 0; i < 100; i++ {
+		for _, s := range star.Senders {
+			pkt := nw.NewPacket()
+			pkt.Dst = star.Receiver.ID()
+			pkt.Size = DataMTU
+			pkt.Kind = Data
+			s.Send(pkt)
+		}
+	}
+	nw.Sim.Run()
+	if o.Trace.Count(obs.Pause) == 0 {
+		t.Fatal("PFC never engaged; scenario broken")
+	}
+	for _, e := range ms.Events() {
+		switch e.Type {
+		case obs.Pause, obs.Resume:
+			if e.Kind != obs.KindNone {
+				t.Fatalf("%s record carries kind %q, want %q",
+					e.Type, obs.KindName(e.Kind), obs.KindName(obs.KindNone))
+			}
+		case obs.Enqueue:
+			if e.Kind == obs.KindNone {
+				t.Fatal("packet-carrying record lost its kind")
+			}
+		}
+	}
+}
+
+// Two networks observed by one shared observer get distinct run tags, so
+// their identically-numbered ports never share invariant books — even when
+// the first network stops mid-flight with packets still queued and a later
+// network reuses the same node ids from zero.
+func TestObsSharedObserverAcrossNetworks(t *testing.T) {
+	o := obs.Full()
+	ms := obs.NewMemorySink(0)
+	o.Trace.AddSink(ms)
+	run := func(stopEarly bool) {
+		nw, tx, rx := twoHopChain(1)
+		nw.SetObserver(o)
+		rx.Transport = TransportFunc(func(h *Host, pkt *Packet) {})
+		for i := 0; i < 32; i++ {
+			pkt := nw.NewPacket()
+			pkt.Dst = rx.ID()
+			pkt.Size = DataMTU
+			pkt.Kind = Data
+			tx.Send(pkt)
+		}
+		if stopEarly {
+			// Stop with the switch queue still holding packets: the books
+			// for this run legitimately end non-empty.
+			nw.Sim.RunUntil(des.Time(30 * des.Microsecond))
+		} else {
+			nw.Sim.Run()
+		}
+		o.Check.Finish(nw.Sim.Now())
+	}
+	run(true)
+	run(false)
+	if err := o.Check.Err(); err != nil {
+		t.Errorf("shared checker mixed books across networks: %v", err)
+	}
+	runs := make(map[uint32]bool)
+	for _, e := range ms.Events() {
+		runs[e.Run] = true
+	}
+	if len(runs) != 2 || runs[0] {
+		t.Errorf("expected 2 distinct nonzero run tags, got %v", runs)
+	}
+}
+
 // Freeing a pooled packet twice is detected when an observer watches, and
 // the pool is protected from the corrupting second push.
 func TestObsDoubleFreeDetected(t *testing.T) {

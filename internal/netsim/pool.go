@@ -31,11 +31,16 @@ func (nw *Network) FreePacket(pkt *Packet) {
 	if !nw.pooling {
 		return
 	}
-	if pkt.inPool && nw.obs != nil {
-		// Double free: the packet is already in the free list. Report it
-		// and leave the pool untouched — appending it again would hand the
-		// same struct to two owners later.
-		nw.obsDoubleFree(pkt)
+	if pkt.inPool {
+		// Double free: the packet is already in the free list. Leave the
+		// pool untouched — appending it again would hand the same struct
+		// to two owners later — and report it when someone is watching.
+		// Skipping the re-append is safe unobserved too: free-list length
+		// is invisible to simulation logic, so healthy runs stay
+		// bit-identical and broken ones stop corrupting the pool.
+		if nw.obs != nil {
+			nw.obsDoubleFree(pkt)
+		}
 		return
 	}
 	*pkt = Packet{}

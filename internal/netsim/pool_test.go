@@ -39,6 +39,27 @@ func TestPacketPoolNoStaleState(t *testing.T) {
 	}
 }
 
+// A double free without an observer attached must not corrupt the pool
+// either: the second push is silently skipped (free-list length is
+// invisible to simulation logic), so the same struct is never handed to
+// two owners. Only the reporting needs an observer.
+func TestPacketPoolUnobservedDoubleFree(t *testing.T) {
+	nw := New(1)
+	nw.SetPooling(true)
+	pkt := nw.NewPacket()
+	other := nw.NewPacket()
+	nw.FreePacket(pkt)
+	nw.FreePacket(pkt) // caller bug, absorbed without an observer
+	if got := nw.PoolSize(); got != 1 {
+		t.Fatalf("PoolSize = %d after unobserved double free, want 1", got)
+	}
+	nw.FreePacket(other)
+	a, b := nw.NewPacket(), nw.NewPacket()
+	if a == b {
+		t.Fatal("double free handed the same packet to two owners")
+	}
+}
+
 func TestPacketPoolDisabled(t *testing.T) {
 	nw := New(1)
 	nw.SetPooling(false)

@@ -53,6 +53,7 @@ func (v Violation) String() string {
 const maxViolationDetails = 64
 
 type portKey struct {
+	run        uint32 // network-instance tag (Event.Run)
 	node, peer int32
 }
 
@@ -63,15 +64,23 @@ type portState struct {
 	qLen     int32
 	paused   bool
 	sawPFC   bool
+	// closureFlagged makes the end-of-run closure check idempotent: a
+	// shared checker sees one Finish per run, each auditing every port
+	// recorded so far, and a broken port must count once, not once per
+	// subsequent run.
+	closureFlagged bool
 }
 
 // Checker consumes the trace event stream and verifies the runtime
-// invariants. It keeps independent state per port (keyed by the owner/peer
-// node pair), so one checker covers a whole topology. Feed is public so
-// tests can push synthetic event streams at broken fixtures; real runs
-// feed it through NetObserver.Emit. All methods are safe for concurrent
-// use; per-port map entries are created on first touch, so steady-state
-// checking allocates nothing.
+// invariants. It keeps independent state per port — keyed by the network
+// instance (Event.Run) plus the owner/peer node pair — so one checker
+// covers a whole topology, and one shared checker covers many networks:
+// concurrent sweep jobs and successive runs inside one job all carry
+// distinct run tags, so their identically-numbered ports never share
+// books. Feed is public so tests can push synthetic event streams at
+// broken fixtures; real runs feed it through NetObserver.Emit. All methods
+// are safe for concurrent use; per-port map entries are created on first
+// touch, so steady-state checking allocates nothing.
 type Checker struct {
 	mu         sync.Mutex
 	ports      map[portKey]*portState
@@ -96,7 +105,7 @@ func (c *Checker) violate(t des.Time, inv Invariant, format string, args ...any)
 }
 
 func (c *Checker) port(e Event) *portState {
-	k := portKey{node: e.Node, peer: e.Peer}
+	k := portKey{run: e.Run, node: e.Node, peer: e.Peer}
 	ps, ok := c.ports[k]
 	if !ok {
 		ps = &portState{}
@@ -178,15 +187,17 @@ func (c *Checker) checkQueue(e Event, ps *portState) {
 
 // Finish runs the end-of-run closure check: for every queue, enqueued
 // bytes must equal dequeued bytes plus bytes still queued. Call it after
-// the simulation completes; it may be called more than once.
+// the simulation completes; it may be called more than once (on a shared
+// checker, once per run) — each broken port is flagged exactly once.
 func (c *Checker) Finish(now des.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for k, ps := range c.ports {
-		if ps.enqBytes != ps.deqBytes+ps.qBytes {
+		if !ps.closureFlagged && ps.enqBytes != ps.deqBytes+ps.qBytes {
+			ps.closureFlagged = true
 			c.violate(now, InvConservation,
-				"port %d->%d conservation broken at end of run: enq=%d deq=%d queued=%d",
-				k.node, k.peer, ps.enqBytes, ps.deqBytes, ps.qBytes)
+				"port %d->%d (run %d) conservation broken at end of run: enq=%d deq=%d queued=%d",
+				k.node, k.peer, k.run, ps.enqBytes, ps.deqBytes, ps.qBytes)
 		}
 	}
 }

@@ -128,6 +128,63 @@ func TestCheckerPFCPairingFires(t *testing.T) {
 	})
 }
 
+// One shared checker serving several networks with identical node ids must
+// keep their books apart: events carry a run tag, and the interleaving a
+// parallel sweep produces — including one run's Finish landing while
+// another run's queue is non-empty — raises nothing.
+func TestCheckerRunScoping(t *testing.T) {
+	c := NewChecker()
+	ev := func(run uint32, typ EventType, size, qLen int32, qBytes int64) Event {
+		return Event{Run: run, Type: typ, Node: 0, Peer: 1, Size: size, QLen: qLen, QBytes: qBytes}
+	}
+	c.Feed(ev(1, Enqueue, 1000, 1, 1000))
+	c.Feed(ev(2, Enqueue, 700, 1, 700)) // same port ids, different network
+	c.Feed(ev(1, Dequeue, 1000, 0, 0))
+	// Run 1 finishes — and audits every port recorded so far — while run 2
+	// still holds 700 queued bytes.
+	c.Finish(des.Time(1))
+	c.Feed(ev(2, Dequeue, 700, 0, 0))
+	c.Finish(des.Time(2))
+	if c.Total() != 0 {
+		t.Fatalf("run-scoped streams produced %d violations: %v", c.Total(), c.Violations())
+	}
+	// PFC pairing is scoped the same way: each run pauses the same port
+	// once, which is a double pause only within a single run.
+	c.Feed(Event{Run: 1, Type: Pause, Node: 0, Peer: 1})
+	c.Feed(Event{Run: 2, Type: Pause, Node: 0, Peer: 1})
+	if c.Count(InvPFCPairing) != 0 {
+		t.Fatal("pause state leaked across run tags")
+	}
+	c.Feed(Event{Run: 1, Type: Pause, Node: 0, Peer: 1})
+	if c.Count(InvPFCPairing) != 1 {
+		t.Fatal("genuine same-run double pause not flagged")
+	}
+	// Within one run the books are still shared: a divergence is caught.
+	c.Feed(ev(3, Enqueue, 500, 1, 500))
+	c.Feed(ev(3, Enqueue, 500, 1, 500)) // books say 1000, queue reports 500
+	if c.Count(InvConservation) != 1 {
+		t.Fatalf("same-run divergence count = %d, want 1", c.Count(InvConservation))
+	}
+}
+
+// The end-of-run closure check flags a broken port exactly once, however
+// many later runs on the same shared checker call Finish again.
+func TestCheckerFinishIdempotentPerPort(t *testing.T) {
+	c := NewChecker()
+	c.Feed(queueEvent(Enqueue, 1000, 1, 1000))
+	c.Feed(queueEvent(Dequeue, 600, 0, 0)) // 400 bytes vanish
+	c.Finish(des.Time(1))
+	n := c.Count(InvConservation)
+	if n == 0 {
+		t.Fatal("broken closure not flagged")
+	}
+	c.Finish(des.Time(2))
+	c.Finish(des.Time(3))
+	if got := c.Count(InvConservation); got != n {
+		t.Fatalf("repeated Finish inflated the count: %d -> %d", n, got)
+	}
+}
+
 func TestCheckerDoubleFreeFires(t *testing.T) {
 	c := NewChecker()
 	c.Feed(Event{T: des.Time(7), Type: DoubleFree, Pkt: 99, Flow: 3})

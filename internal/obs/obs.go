@@ -26,7 +26,9 @@ import (
 // NetObserver bundles the observability facilities a simulation run may
 // attach: any field may be nil, and a nil *NetObserver disables everything.
 // The same observer may be shared by concurrent runs (the sweep engine):
-// counters are atomic and the tracer and checker serialise internally.
+// counters are atomic, the tracer and checker serialise internally, and the
+// checker keeps books per network instance (Event.Run), so runs with
+// identical node ids never corrupt each other's invariant state.
 type NetObserver struct {
 	// Metrics receives hierarchical counters registered by ports, hosts
 	// and protocol endpoints at attach/creation time.
@@ -41,6 +43,12 @@ type NetObserver struct {
 	// ProbeEvery is the sampling cadence for auto-registered probes
 	// (zero: 100 µs). See EXPERIMENTS.md for cadence guidance.
 	ProbeEvery des.Duration
+	// ProbePrefix qualifies every auto-registered probe name (via
+	// ProbeName). Job orchestrators give each job a shallow copy of a
+	// shared observer with a distinct prefix, so a shared ProbeSet holds
+	// distinguishable series and exports in an order independent of job
+	// scheduling.
+	ProbePrefix string
 }
 
 // Emit routes one event to the tracer and the invariant checker. Callers
@@ -60,6 +68,15 @@ func (o *NetObserver) ProbeCadence() des.Duration {
 		return o.ProbeEvery
 	}
 	return 100 * des.Microsecond
+}
+
+// ProbeName qualifies an auto-registered probe name with the observer's
+// ProbePrefix.
+func (o *NetObserver) ProbeName(name string) string {
+	if o.ProbePrefix == "" {
+		return name
+	}
+	return o.ProbePrefix + name
 }
 
 // Full returns an observer with every facility enabled: a fresh registry,

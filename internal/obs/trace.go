@@ -50,8 +50,16 @@ func (t EventType) String() string {
 // correspondence is pinned by a test in internal/netsim.
 var kindNames = [...]string{"data", "ack", "cnp", "pause", "resume", "nack"}
 
+// KindNone marks a record that carries no packet (PFC pause/resume state
+// transitions); KindName renders it as "-" so portless records are never
+// mistaken for data packets when filtering a trace by kind.
+const KindNone = 0xFF
+
 // KindName renders a raw netsim packet kind for trace output.
 func KindName(k uint8) string {
+	if k == KindNone {
+		return "-"
+	}
 	if int(k) < len(kindNames) {
 		return kindNames[k]
 	}
@@ -61,11 +69,13 @@ func KindName(k uint8) string {
 // Event is one trace record. It is a plain value — emitting one copies a
 // flat struct and allocates nothing. Node/Peer identify the port (one
 // directed port per (owner, peer) pair in netsim); fields that do not
-// apply to a record type are zero (Peer: -1 when portless).
+// apply to a record type are zero (Peer: -1 when portless, Kind: KindNone
+// when no packet is involved).
 type Event struct {
 	T      des.Time  // simulation time, ns
 	Type   EventType // record type
-	Kind   uint8     // raw packet kind (see KindName)
+	Kind   uint8     // raw packet kind (see KindName), KindNone when packet-less
+	Run    uint32    // network-instance tag (see below), 0 when untagged
 	Node   int32     // owner node id
 	Peer   int32     // peer node id, -1 when not port-scoped
 	Flow   int32     // flow id, -1 for control not tied to a flow
@@ -76,6 +86,15 @@ type Event struct {
 	Pkt    uint64    // packet id
 	Seq    int64     // sequence/offset field
 }
+
+// Run scopes per-port checker state: netsim stamps every port-scoped event
+// with a process-unique tag for the network that emitted it, so one shared
+// Checker keeps independent books per network even when several runs with
+// identical node ids feed it — concurrently (sweep workers) or one after
+// another (a runner building several networks). The tag is deliberately NOT
+// part of the JSONL trace encoding: its value depends on how many networks
+// the process created before, which would break byte-identical golden
+// traces.
 
 // Sink receives trace events. Implementations are called with the tracer's
 // lock held, in emission order; they must not call back into the tracer.

@@ -63,6 +63,11 @@ func TestEventTypeAndKindNames(t *testing.T) {
 	if KindName(0) != "data" || KindName(200) != "?" {
 		t.Error("KindName mapping broken")
 	}
+	// Packet-less records (PFC pause/resume) carry KindNone and must not
+	// render as data packets.
+	if KindName(KindNone) != "-" {
+		t.Errorf("KindName(KindNone) = %q, want %q", KindName(KindNone), "-")
+	}
 }
 
 func TestJSONLSinkSchema(t *testing.T) {
