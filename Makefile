@@ -3,9 +3,10 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt test race bench bench-smoke determinism obs-ab
+.PHONY: ci build vet fmt test race bench bench-smoke determinism obs-ab \
+	telemetry-smoke obsreport-gate
 
-ci: fmt vet build test race bench-smoke determinism obs-ab
+ci: fmt vet build test race bench-smoke determinism obs-ab telemetry-smoke obsreport-gate
 
 build:
 	$(GO) build ./...
@@ -20,14 +21,14 @@ fmt:
 test:
 	$(GO) test -timeout 5m ./...
 
-# Race gate over the whole module: the sweep engine and the shared
-# observer (atomic counters, mutex-serialised tracer and invariant
-# checker) are the concurrent paths, but every package rides along so a
-# new data race anywhere fails CI. internal/fluid is excluded: it is
-# single-goroutine numeric integration (nothing for the detector to
-# find) and its ~2-minute suite balloons past the timeout under -race.
+# Race gate over the whole module, with no exclusions: the sweep engine,
+# the shared observer and the telemetry server are the concurrent paths,
+# but every package rides along so a new data race anywhere fails CI.
+# -short trims internal/fluid's numeric-integration horizons (it is
+# single-goroutine, so the detector loses nothing) to keep the whole
+# suite inside the timeout under the -race slowdown.
 race:
-	$(GO) test -race -timeout 10m $$($(GO) list ./... | grep -v internal/fluid)
+	$(GO) test -race -short -timeout 15m ./...
 
 bench:
 	$(GO) test -bench=Sweep -run='^$$' .
@@ -61,8 +62,38 @@ obs-ab:
 	$(GO) run ./cmd/packetsim -proto dcqcn -n 4 -horizon 0.02 -seed 7 > "$$tmp/off.tsv"; \
 	$(GO) run ./cmd/packetsim -proto dcqcn -n 4 -horizon 0.02 -seed 7 \
 		-metrics "$$tmp/metrics.tsv" -trace "$$tmp/trace.jsonl" \
-		-probe "$$tmp/probe.jsonl" -invariants > "$$tmp/on.tsv"; \
+		-probe "$$tmp/probe.jsonl" -hist "$$tmp/hist.jsonl" -invariants > "$$tmp/on.tsv"; \
 	cmp "$$tmp/off.tsv" "$$tmp/on.tsv"; \
-	for f in metrics.tsv trace.jsonl probe.jsonl; do \
+	for f in metrics.tsv trace.jsonl probe.jsonl hist.jsonl; do \
 		[ -s "$$tmp/$$f" ] || { echo "obs-ab: $$f is empty"; exit 1; }; done; \
 	echo "obs-ab: observer is invisible to the run (outputs byte-identical, invariants clean)"
+
+# Telemetry smoke gate: boot packetsim with -serve on an ephemeral port,
+# scrape /metrics and /progress mid-run, and require both to answer with
+# real content before the run is killed.
+telemetry-smoke:
+	@tmp=$$(mktemp -d); trap 'kill $$pid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/packetsim" ./cmd/packetsim; \
+	"$$tmp/packetsim" -proto dcqcn -n 4 -horizon 5 -seed 7 -serve 127.0.0.1:0 \
+		> /dev/null 2> "$$tmp/log" & pid=$$!; \
+	addr=""; for i in $$(seq 1 50); do \
+		addr=$$(sed -n 's|.*serving telemetry on http://||p' "$$tmp/log" | head -1); \
+		[ -n "$$addr" ] && break; sleep 0.1; done; \
+	[ -n "$$addr" ] || { echo "telemetry-smoke: server never announced its address"; cat "$$tmp/log"; exit 1; }; \
+	curl -sf "http://$$addr/metrics" | grep -q '^ecndelay_' \
+		|| { echo "telemetry-smoke: /metrics served no ecndelay_ series"; exit 1; }; \
+	curl -sf "http://$$addr/progress" | grep -q '"sim_time_s"' \
+		|| { echo "telemetry-smoke: /progress served no sim_time_s"; exit 1; }; \
+	echo "telemetry-smoke: /metrics and /progress answer mid-run"
+
+# Perf-trajectory gate: a quick fixed-seed packetsim run must reproduce
+# the checked-in golden latency percentiles within 5%. Regenerate the
+# golden file with the same packetsim command after an intentional
+# distribution change.
+obsreport-gate:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/packetsim -proto timely -n 2 -horizon 0.005 -seed 7 \
+		-hist "$$tmp/hist.jsonl" > /dev/null; \
+	$(GO) run ./cmd/obsreport -base cmd/obsreport/testdata/golden_packetsim_hist.jsonl \
+		-new "$$tmp/hist.jsonl" -threshold 0.05 \
+		&& echo "obsreport-gate: percentiles match the golden run"

@@ -48,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		probeFile   = fs.String("probe", "", "write probe time series as JSONL to this file")
 		probeEvery  = fs.Float64("probe-every", 1e-4, "probe sampling cadence, seconds")
 		invariants  = fs.Bool("invariants", false, "check runtime invariants; violations exit nonzero")
+		histFile    = fs.String("hist", "", "write latency histogram percentiles to this file (.tsv: TSV, else JSONL)")
+		serveAddr   = fs.String("serve", "", "serve live telemetry (/metrics, /progress, pprof) on this host:port")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -85,9 +87,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// by completion order, so byte-stable traces need -workers 1.
 	var observer *ecndelay.Observer
 	var traceSink *ecndelay.TraceJSONLSink
-	if *metricsFile != "" || *traceFile != "" || *probeFile != "" || *invariants {
+	if *metricsFile != "" || *traceFile != "" || *probeFile != "" || *invariants ||
+		*histFile != "" || *serveAddr != "" {
 		observer = &ecndelay.Observer{ProbeEvery: ecndelay.DurationFromSeconds(*probeEvery)}
-		if *metricsFile != "" {
+		if *metricsFile != "" || *serveAddr != "" {
 			observer.Metrics = ecndelay.NewMetricsRegistry()
 		}
 		if *traceFile != "" {
@@ -105,7 +108,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *invariants {
 			observer.Check = ecndelay.NewInvariantChecker()
 		}
+		if *histFile != "" || *serveAddr != "" {
+			observer.Hists = ecndelay.NewHistSet()
+		}
 		opts.Observer = observer
+	}
+
+	var status *ecndelay.SweepStatus
+	if *serveAddr != "" {
+		status = ecndelay.NewSweepStatus()
+		srv := ecndelay.NewTelemetryServer(observer)
+		srv.SetProgress(func() any { return status.Snapshot() })
+		addr, err := srv.Start(*serveAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "ecnbench: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "ecnbench: serving telemetry on http://%s\n", addr)
 	}
 
 	var selected []ecndelay.Experiment
@@ -153,13 +173,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		progress = stderr
 	}
 	if _, err := ecndelay.RunSweep(ecndelay.SweepConfig{
-		Workers: *workers, BaseSeed: *seed, Progress: progress,
+		Workers: *workers, BaseSeed: *seed, Progress: progress, Status: status,
 	}, jobs, sink); err != nil {
 		fmt.Fprintf(stderr, "ecnbench: %v\n", err)
 		return 1
 	}
 	if observer != nil {
-		if code := finishObs(observer, traceSink, *metricsFile, *probeFile, stderr); code != 0 {
+		if code := finishObs(observer, traceSink, *metricsFile, *probeFile, *histFile, stderr); code != 0 {
 			return code
 		}
 	}
@@ -171,7 +191,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // finishObs flushes the observability outputs and reports invariant
 // violations; returns a nonzero exit code on failure.
-func finishObs(o *ecndelay.Observer, trace *ecndelay.TraceJSONLSink, metricsPath, probePath string, stderr io.Writer) int {
+func finishObs(o *ecndelay.Observer, trace *ecndelay.TraceJSONLSink, metricsPath, probePath, histPath string, stderr io.Writer) int {
 	if trace != nil {
 		if err := trace.Close(); err != nil {
 			fmt.Fprintf(stderr, "ecnbench: %v\n", err)
@@ -197,6 +217,16 @@ func finishObs(o *ecndelay.Observer, trace *ecndelay.TraceJSONLSink, metricsPath
 	}
 	if probePath != "" {
 		if err := write(probePath, o.Probes.WriteJSONL); err != nil {
+			fmt.Fprintf(stderr, "ecnbench: %v\n", err)
+			return 1
+		}
+	}
+	if histPath != "" {
+		fn := o.Hists.WriteJSONL
+		if strings.HasSuffix(histPath, ".tsv") {
+			fn = o.Hists.WriteTSV
+		}
+		if err := write(histPath, fn); err != nil {
 			fmt.Fprintf(stderr, "ecnbench: %v\n", err)
 			return 1
 		}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baseJSONL = `{"hist":"timely.rtt_s","count":378,"min":5.7e-06,"max":0.0012,"p50":6.1e-05,"p90":4.1e-04,"p95":6.0e-04,"p99":9.0e-04,"p999":1.1e-03}
+{"hist":"dcqcn.cnp_gap_s","count":2077,"min":5.0e-05,"max":0.0074,"p50":6.4e-05,"p90":1.4e-03,"p95":2.2e-03,"p99":3.7e-03,"p999":5.3e-03}
+{"probe":"queue_bytes","dropped":12}
+`
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code = run(args, &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+func TestIdenticalRunsPass(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.jsonl", baseJSONL)
+	cand := writeFile(t, dir, "new.jsonl", baseJSONL)
+	out, errText, code := runCLI(t, "-base", base, "-new", cand)
+	if code != 0 {
+		t.Fatalf("identical runs exit %d: %s%s", code, out, errText)
+	}
+	if strings.Contains(out, "REGRESSION") {
+		t.Errorf("identical runs flagged a regression:\n%s", out)
+	}
+	if !strings.Contains(out, "ok         timely.rtt_s p99") {
+		t.Errorf("comparison table missing expected row:\n%s", out)
+	}
+}
+
+func TestInjectedRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.jsonl", baseJSONL)
+	// p99 of timely.rtt_s inflated 50%, everything else unchanged.
+	worse := strings.Replace(baseJSONL, `"p99":9.0e-04`, `"p99":1.35e-03`, 1)
+	cand := writeFile(t, dir, "new.jsonl", worse)
+	out, errText, code := runCLI(t, "-base", base, "-new", cand, "-threshold", "0.10")
+	if code != 1 {
+		t.Fatalf("regressed run exit %d, want 1: %s%s", code, out, errText)
+	}
+	if !strings.Contains(out, "REGRESSION timely.rtt_s p99") {
+		t.Errorf("regressed percentile not flagged:\n%s", out)
+	}
+	if !strings.Contains(errText, "1 regression(s)") {
+		t.Errorf("summary line missing: %s", errText)
+	}
+	// The same delta passes under a looser threshold.
+	if _, _, code := runCLI(t, "-base", base, "-new", cand, "-threshold", "0.60"); code != 0 {
+		t.Errorf("50%% delta must pass a 60%% threshold, got exit %d", code)
+	}
+}
+
+func TestImprovementPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.jsonl", baseJSONL)
+	better := strings.Replace(baseJSONL, `"p99":9.0e-04`, `"p99":4.0e-04`, 1)
+	cand := writeFile(t, dir, "new.jsonl", better)
+	out, _, code := runCLI(t, "-base", base, "-new", cand)
+	if code != 0 {
+		t.Fatalf("improvement exits %d:\n%s", code, out)
+	}
+}
+
+func TestMissingHistogramFailsUnlessAllowed(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.jsonl", baseJSONL)
+	oneOnly := `{"hist":"timely.rtt_s","count":378,"min":5.7e-06,"max":0.0012,"p50":6.1e-05,"p90":4.1e-04,"p95":6.0e-04,"p99":9.0e-04,"p999":1.1e-03}` + "\n"
+	cand := writeFile(t, dir, "new.jsonl", oneOnly)
+	out, _, code := runCLI(t, "-base", base, "-new", cand)
+	if code != 1 || !strings.Contains(out, "MISSING    dcqcn.cnp_gap_s") {
+		t.Fatalf("missing histogram not flagged (exit %d):\n%s", code, out)
+	}
+	if _, _, code := runCLI(t, "-base", base, "-new", cand, "-allow-missing"); code != 0 {
+		t.Errorf("-allow-missing still fails: exit %d", code)
+	}
+}
+
+func TestNewHistogramIsInformational(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.jsonl", baseJSONL)
+	extra := baseJSONL + `{"hist":"brand.new_s","count":5,"min":1,"max":2,"p50":1,"p90":2,"p95":2,"p99":2,"p999":2}` + "\n"
+	cand := writeFile(t, dir, "new.jsonl", extra)
+	out, _, code := runCLI(t, "-base", base, "-new", cand)
+	if code != 0 {
+		t.Fatalf("candidate-only histogram must not fail, exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "brand.new_s: new histogram") {
+		t.Errorf("candidate-only histogram not reported:\n%s", out)
+	}
+}
+
+func TestZeroBaselineRegresses(t *testing.T) {
+	dir := t.TempDir()
+	zero := `{"hist":"h","count":1,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"p999":0}` + "\n"
+	nonzero := `{"hist":"h","count":1,"min":0,"max":1,"p50":1,"p90":1,"p95":1,"p99":1,"p999":1}` + "\n"
+	base := writeFile(t, dir, "base.jsonl", zero)
+	cand := writeFile(t, dir, "new.jsonl", nonzero)
+	if _, _, code := runCLI(t, "-base", base, "-new", cand, "-threshold", "1e9"); code != 1 {
+		t.Errorf("0 -> 1 must regress under any threshold, exit %d", code)
+	}
+	same := writeFile(t, dir, "same.jsonl", zero)
+	if _, _, code := runCLI(t, "-base", base, "-new", same); code != 0 {
+		t.Errorf("0 -> 0 must pass, exit %d", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.jsonl", baseJSONL)
+	for _, args := range [][]string{
+		{},
+		{"-base", base},
+		{"-base", base, "-new", filepath.Join(dir, "nope.jsonl")},
+		{"-base", base, "-new", base, "-quantiles", "p42"},
+		{"-base", base, "-new", base, "-quantiles", ","},
+	} {
+		if _, _, code := runCLI(t, args...); code != 2 {
+			t.Errorf("args %v exit %d, want 2", args, code)
+		}
+	}
+	empty := writeFile(t, dir, "empty.jsonl", "")
+	if _, _, code := runCLI(t, "-base", empty, "-new", base); code != 2 {
+		t.Errorf("empty baseline must be a usage error")
+	}
+}

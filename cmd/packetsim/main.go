@@ -22,9 +22,11 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"ecndelay"
 	"ecndelay/internal/prof"
@@ -65,6 +67,8 @@ func main() {
 		probeFile   = flag.String("probe", "", "write probe time series as JSONL to this file")
 		probeEvery  = flag.Float64("probe-every", 1e-4, "probe sampling cadence, seconds")
 		invariants  = flag.Bool("invariants", false, "check runtime invariants; violations exit nonzero")
+		histFile    = flag.String("hist", "", "write latency histogram percentiles to this file (.tsv: TSV, else JSONL)")
+		serveAddr   = flag.String("serve", "", "serve live telemetry (/metrics, /progress, pprof) on this host:port")
 	)
 	flag.Parse()
 
@@ -78,9 +82,10 @@ func main() {
 	// separate files — stdout stays byte-identical to an unobserved run.
 	var observer *ecndelay.Observer
 	var traceSink *ecndelay.TraceJSONLSink
-	if *metricsFile != "" || *traceFile != "" || *probeFile != "" || *invariants {
+	if *metricsFile != "" || *traceFile != "" || *probeFile != "" || *invariants ||
+		*histFile != "" || *serveAddr != "" {
 		observer = &ecndelay.Observer{ProbeEvery: ecndelay.DurationFromSeconds(*probeEvery)}
-		if *metricsFile != "" {
+		if *metricsFile != "" || *serveAddr != "" {
 			observer.Metrics = ecndelay.NewMetricsRegistry()
 		}
 		if *traceFile != "" {
@@ -96,6 +101,9 @@ func main() {
 		}
 		if *invariants {
 			observer.Check = ecndelay.NewInvariantChecker()
+		}
+		if *histFile != "" || *serveAddr != "" {
+			observer.Hists = ecndelay.NewHistSet()
 		}
 	}
 
@@ -260,6 +268,29 @@ func main() {
 		}
 	}
 
+	// Live telemetry: the HTTP goroutine never touches the simulator —
+	// /progress reads an atomic snapshot of the sim clock refreshed from
+	// inside the sampling tick, and /metrics reads only atomic counters
+	// and histograms — so a served run is bit-identical to an unserved one.
+	var simNow atomic.Uint64 // float64 bits of the sim clock
+	if *serveAddr != "" {
+		srv := ecndelay.NewTelemetryServer(observer)
+		srv.SetProgress(func() any {
+			t := math.Float64frombits(simNow.Load())
+			pct := 0.0
+			if *horizon > 0 {
+				pct = 100 * t / *horizon
+			}
+			return map[string]any{"sim_time_s": t, "horizon_s": *horizon, "pct": pct}
+		})
+		addr, err := srv.Start(*serveAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("serving telemetry on http://%s", addr)
+	}
+
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	fmt.Fprint(out, "# t\tq_bytes")
@@ -268,6 +299,7 @@ func main() {
 	}
 	fmt.Fprintln(out)
 	nw.Sim.Every(0, ecndelay.DurationFromSeconds(*sample), func() {
+		simNow.Store(math.Float64bits(nw.Sim.Now().Seconds()))
 		fmt.Fprintf(out, "%.6f\t%d", nw.Sim.Now().Seconds(), star.Bottleneck.Queue().Bytes())
 		for i := 0; i < *n; i++ {
 			fmt.Fprintf(out, "\t%.6g", rate[i]())
@@ -324,6 +356,11 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+		if *histFile != "" {
+			if err := writeFileWith(*histFile, histWriter(observer.Hists, *histFile)); err != nil {
+				log.Fatal(err)
+			}
+		}
 		if c := observer.Check; c != nil {
 			c.Finish(nw.Sim.Now())
 			if c.Total() > 0 {
@@ -334,6 +371,15 @@ func main() {
 			}
 		}
 	}
+}
+
+// histWriter picks the histogram export format from the target filename:
+// TSV for .tsv, JSONL (the cmd/obsreport input format) otherwise.
+func histWriter(hs *ecndelay.HistSet, path string) func(io.Writer) error {
+	if strings.HasSuffix(path, ".tsv") {
+		return hs.WriteTSV
+	}
+	return hs.WriteJSONL
 }
 
 // writeFileWith creates path and streams write into it.

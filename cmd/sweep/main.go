@@ -30,8 +30,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 
 	"ecndelay"
 	"ecndelay/internal/prof"
@@ -63,10 +65,12 @@ func run(args []string, stderr io.Writer) int {
 		quiet      = fs.Bool("quiet", false, "suppress progress reporting")
 
 		metricsFile = fs.String("metrics", "", "exp: write end-of-run counters as TSV to this file")
-		traceFile   = fs.String("trace", "", "exp: stream the event trace as JSONL to this file")
+		traceFile   = fs.String("trace", "", "exp: write per-job event traces as JSONL files derived from this path")
 		probeFile   = fs.String("probe", "", "exp: write probe time series as JSONL to this file")
 		probeEvery  = fs.Float64("probe-every", 1e-4, "exp: probe sampling cadence, seconds")
 		invariants  = fs.Bool("invariants", false, "exp: check runtime invariants; violations exit nonzero")
+		histFile    = fs.String("hist", "", "exp: write latency histogram percentiles to this file (.tsv: TSV, else JSONL)")
+		serveAddr   = fs.String("serve", "", "serve live telemetry (/metrics, /progress, pprof) on this host:port")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -84,32 +88,33 @@ func run(args []string, stderr io.Writer) int {
 
 	// One shared observer serves every job: counters are atomic, the
 	// checker serialises and keeps per-network books, and each job's
-	// probes carry the job id as a name prefix (ExperimentSweepJobs), so
-	// metrics, invariant verdicts and the probe export are the same for
-	// any -workers value. Only the trace stream interleaves jobs by
-	// completion, so a byte-stable trace needs -workers 1. The pm grid is
-	// fluid-model only and never touches the observer.
+	// probes and histograms carry the job id as a name prefix
+	// (ExperimentSweepJobs), so metrics, invariant verdicts and the
+	// probe/histogram exports are the same for any -workers value. The
+	// trace stream gets one file per job (derived from -trace via
+	// TracePerJob), so each trace file is byte-identical for any -workers
+	// value too. The pm grid is fluid-model only and never touches the
+	// observer.
 	var observer *ecndelay.Observer
-	var traceSink *ecndelay.TraceJSONLSink
-	if *metricsFile != "" || *traceFile != "" || *probeFile != "" || *invariants {
+	var traces *jobTraces
+	if *metricsFile != "" || *traceFile != "" || *probeFile != "" || *invariants ||
+		*histFile != "" || *serveAddr != "" {
 		observer = &ecndelay.Observer{ProbeEvery: ecndelay.DurationFromSeconds(*probeEvery)}
-		if *metricsFile != "" {
+		if *metricsFile != "" || *serveAddr != "" {
 			observer.Metrics = ecndelay.NewMetricsRegistry()
 		}
 		if *traceFile != "" {
-			f, err := os.Create(*traceFile)
-			if err != nil {
-				fmt.Fprintf(stderr, "sweep: %v\n", err)
-				return 2
-			}
-			traceSink = ecndelay.NewTraceJSONLSink(f)
-			observer.Trace = ecndelay.NewTracer(traceSink)
+			traces = &jobTraces{base: *traceFile}
+			observer.TracePerJob = traces.tracer
 		}
 		if *probeFile != "" {
 			observer.Probes = ecndelay.NewProbeSet()
 		}
 		if *invariants {
 			observer.Check = ecndelay.NewInvariantChecker()
+		}
+		if *histFile != "" || *serveAddr != "" {
+			observer.Hists = ecndelay.NewHistSet()
 		}
 	}
 
@@ -137,6 +142,20 @@ func run(args []string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sweep: resuming, %d of %d jobs already done\n", done, len(jobs))
 	}
 
+	var status *ecndelay.SweepStatus
+	if *serveAddr != "" {
+		status = ecndelay.NewSweepStatus()
+		srv := ecndelay.NewTelemetryServer(observer)
+		srv.SetProgress(func() any { return status.Snapshot() })
+		addr, err := srv.Start(*serveAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "sweep: serving telemetry on http://%s\n", addr)
+	}
+
 	var progress io.Writer
 	if !*quiet {
 		progress = stderr
@@ -147,13 +166,14 @@ func run(args []string, stderr io.Writer) int {
 		Retries:  *retries,
 		BaseSeed: *seed,
 		Progress: progress,
+		Status:   status,
 	}, jobs, sink)
 	if err != nil {
 		fmt.Fprintf(stderr, "sweep: %v\n", err)
 		return 1
 	}
 	if observer != nil {
-		if code := finishObs(observer, traceSink, *metricsFile, *probeFile, stderr); code != 0 {
+		if code := finishObs(observer, traces, *metricsFile, *probeFile, *histFile, stderr); code != 0 {
 			return code
 		}
 	}
@@ -166,9 +186,9 @@ func run(args []string, stderr io.Writer) int {
 
 // finishObs flushes the observability outputs and reports invariant
 // violations; returns a nonzero exit code on failure.
-func finishObs(o *ecndelay.Observer, trace *ecndelay.TraceJSONLSink, metricsPath, probePath string, stderr io.Writer) int {
-	if trace != nil {
-		if err := trace.Close(); err != nil {
+func finishObs(o *ecndelay.Observer, traces *jobTraces, metricsPath, probePath, histPath string, stderr io.Writer) int {
+	if traces != nil {
+		if err := traces.close(); err != nil {
 			fmt.Fprintf(stderr, "sweep: %v\n", err)
 			return 1
 		}
@@ -196,6 +216,16 @@ func finishObs(o *ecndelay.Observer, trace *ecndelay.TraceJSONLSink, metricsPath
 			return 1
 		}
 	}
+	if histPath != "" {
+		fn := o.Hists.WriteJSONL
+		if strings.HasSuffix(histPath, ".tsv") {
+			fn = o.Hists.WriteTSV
+		}
+		if err := write(histPath, fn); err != nil {
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
+			return 1
+		}
+	}
 	if c := o.Check; c != nil && c.Total() > 0 {
 		for _, v := range c.Violations() {
 			fmt.Fprintf(stderr, "sweep: invariant violation: %s\n", v)
@@ -204,6 +234,54 @@ func finishObs(o *ecndelay.Observer, trace *ecndelay.TraceJSONLSink, metricsPath
 		return 1
 	}
 	return 0
+}
+
+// jobTraces opens one JSONL trace file per sweep job, deriving each
+// path from the -trace flag value: trace.jsonl becomes
+// trace.<jobid>.jsonl, with "/" in the job id replaced by "_". Because
+// each job owns its file, every trace file is byte-identical for any
+// -workers value. tracer is called from worker goroutines, so it
+// serialises; the first open error is latched and surfaces at close.
+type jobTraces struct {
+	base  string
+	mu    sync.Mutex
+	sinks []*ecndelay.TraceJSONLSink
+	err   error
+}
+
+// pathFor derives the per-job trace file name from the base path.
+func (t *jobTraces) pathFor(jobID string) string {
+	id := strings.ReplaceAll(jobID, "/", "_")
+	ext := filepath.Ext(t.base)
+	return strings.TrimSuffix(t.base, ext) + "." + id + ext
+}
+
+func (t *jobTraces) tracer(jobID string) *ecndelay.Tracer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, err := os.Create(t.pathFor(jobID))
+	if err != nil {
+		if t.err == nil {
+			t.err = err
+		}
+		return nil
+	}
+	sink := ecndelay.NewTraceJSONLSink(f)
+	t.sinks = append(t.sinks, sink)
+	return ecndelay.NewTracer(sink)
+}
+
+// close flushes every per-job file and returns the first error seen.
+func (t *jobTraces) close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	err := t.err
+	for _, s := range t.sinks {
+		if cerr := s.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // buildJobs expands the flag grid into the job matrix.

@@ -546,16 +546,21 @@ func ExperimentSweepJobs(ids []string, opts ExperimentOptions, seeds []int64) ([
 }
 
 // JobObserver returns a shallow copy of o with jobID appended to its
-// ProbePrefix, so per-job probe series registered on a shared ProbeSet
-// stay distinguishable and export deterministically. A nil observer stays
-// nil; the copy shares every facility (Metrics, Trace, Check, Probes)
-// with the original.
+// ProbePrefix, so per-job probe series (and histograms) registered on a
+// shared set stay distinguishable and export deterministically. A nil
+// observer stays nil; the copy shares every facility (Metrics, Trace,
+// Check, Probes, Hists) with the original — except that an observer with
+// TracePerJob set gets a private per-job tracer instead of the shared
+// Trace, so trace streams don't interleave jobs by completion order.
 func JobObserver(o *Observer, jobID string) *Observer {
 	if o == nil {
 		return nil
 	}
 	jo := *o
 	jo.ProbePrefix = jo.ProbePrefix + jobID + "."
+	if o.TracePerJob != nil {
+		jo.Trace = o.TracePerJob(jobID)
+	}
 	return &jo
 }
 
@@ -604,6 +609,19 @@ type (
 	InvariantViolation = obs.Violation
 	// InvariantClass identifies one of the checked invariant classes.
 	InvariantClass = obs.Invariant
+	// Hist is a streaming log-bucketed latency histogram.
+	Hist = obs.Hist
+	// HistSet is a collection of named histograms with canonical export.
+	HistSet = obs.HistSet
+	// HistSummary is one histogram's canonical export row.
+	HistSummary = obs.HistSummary
+	// TelemetryServer serves /metrics, /progress, /probes and pprof for a
+	// live run.
+	TelemetryServer = obs.Server
+	// SweepStatus is a live job-state board for the /progress endpoint.
+	SweepStatus = sweep.Status
+	// SweepStatusSnapshot is the JSON shape /progress serves.
+	SweepStatusSnapshot = sweep.StatusSnapshot
 )
 
 // Trace record types.
@@ -651,3 +669,20 @@ func NewInvariantChecker() *InvariantChecker { return obs.NewChecker() }
 
 // FullObserver returns an observer with every facility enabled.
 func FullObserver() *Observer { return obs.Full() }
+
+// NewHist returns an empty streaming histogram.
+func NewHist(name string) *Hist { return obs.NewHist(name) }
+
+// NewHistSet returns an empty histogram set.
+func NewHistSet() *HistSet { return obs.NewHistSet() }
+
+// NewTelemetryServer wraps an observer for live HTTP telemetry; Start it
+// on an address and Close it when the run finishes.
+func NewTelemetryServer(o *Observer) *TelemetryServer { return obs.NewServer(o) }
+
+// NewSweepStatus returns an empty live sweep status board.
+func NewSweepStatus() *SweepStatus { return sweep.NewStatus() }
+
+// WritePrometheus renders an observer's instruments in the Prometheus
+// text exposition format (the same body /metrics serves).
+func WritePrometheus(w io.Writer, o *Observer) error { return obs.WritePrometheus(w, o) }

@@ -4,7 +4,10 @@ package ecndelay_test
 // downstream user would, without touching internal packages.
 
 import (
+	"bytes"
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"ecndelay"
@@ -182,5 +185,88 @@ func TestPublicJobObserver(t *testing.T) {
 	}
 	if base.ProbePrefix != "" {
 		t.Error("JobObserver mutated the shared observer")
+	}
+}
+
+// TestPerJobTraceDeterministicAcrossWorkers pins the per-job trace
+// contract behind sweep -trace: with TracePerJob installed on a shared
+// observer, every job writes its own trace stream through JobObserver,
+// and each stream is byte-identical whether the jobs run serially or
+// race across four workers.
+func TestPerJobTraceDeterministicAcrossWorkers(t *testing.T) {
+	protos := []ecndelay.Protocol{ecndelay.ProtoDCQCN, ecndelay.ProtoTimely}
+	runAll := func(workers int) map[string][]byte {
+		var mu sync.Mutex
+		bufs := map[string]*bytes.Buffer{}
+		var sinks []*ecndelay.TraceJSONLSink
+		shared := &ecndelay.Observer{
+			TracePerJob: func(jobID string) *ecndelay.Tracer {
+				mu.Lock()
+				defer mu.Unlock()
+				b := &bytes.Buffer{}
+				bufs[jobID] = b
+				sink := ecndelay.NewTraceJSONLSink(b)
+				sinks = append(sinks, sink)
+				return ecndelay.NewTracer(sink)
+			},
+		}
+		var jobs []ecndelay.SweepJob
+		for _, proto := range protos {
+			for _, seed := range []int64{1, 2} {
+				proto, seed := proto, seed
+				id := fmt.Sprintf("%s/seed%d", proto, seed)
+				jobs = append(jobs, ecndelay.SweepJob{
+					ID: id,
+					Run: func(int64) (map[string]float64, error) {
+						cfg := ecndelay.FCTConfig{
+							Protocol: proto, LoadFactor: 1.2,
+							Horizon: 0.004, Warmup: 0.001, Drain: 0.05,
+							Seed:     seed,
+							Observer: ecndelay.JobObserver(shared, id),
+						}
+						if _, err := ecndelay.RunFCT(cfg); err != nil {
+							return nil, err
+						}
+						return map[string]float64{"ok": 1}, nil
+					},
+				})
+			}
+		}
+		sum, err := ecndelay.RunSweep(ecndelay.SweepConfig{Workers: workers},
+			jobs, &ecndelay.SweepMemorySink{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Failed != 0 || sum.Executed != len(jobs) {
+			t.Fatalf("workers=%d summary %+v", workers, sum)
+		}
+		for _, s := range sinks {
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := make(map[string][]byte, len(bufs))
+		for id, b := range bufs {
+			out[id] = b.Bytes()
+		}
+		return out
+	}
+	serial := runAll(1)
+	if len(serial) != 2*len(protos) {
+		t.Fatalf("got %d per-job trace streams, want %d", len(serial), 2*len(protos))
+	}
+	for id, b := range serial {
+		if len(b) == 0 {
+			t.Fatalf("job %s produced an empty trace", id)
+		}
+	}
+	parallel := runAll(4)
+	for id, want := range serial {
+		if got, ok := parallel[id]; !ok {
+			t.Errorf("parallel run missing trace for job %s", id)
+		} else if !bytes.Equal(got, want) {
+			t.Errorf("job %s trace differs between 1 and 4 workers (%d vs %d bytes)",
+				id, len(want), len(got))
+		}
 	}
 }

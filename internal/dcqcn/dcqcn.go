@@ -133,6 +133,11 @@ type Endpoint struct {
 	// ctr is the endpoint's bound counter set; nil when the network has no
 	// observer (or no metrics registry) attached.
 	ctr *obs.EndpointCounters
+	// cnpGapH/paceGapH are the endpoint's latency histograms (CNP
+	// inter-arrival gaps at the RP, pacing gaps between data packets);
+	// nil when the network has no observer (or no HistSet) attached.
+	cnpGapH  *obs.Hist
+	paceGapH *obs.Hist
 }
 
 type npState struct {
@@ -262,6 +267,14 @@ type Sender struct {
 
 	// RateSeries, if non-nil, records (t, rc) on every rate change.
 	RateHook func(t des.Time, rate float64)
+
+	// Histogram state: previous data-send and CNP-arrival instants, so the
+	// pacing-gap and CNP-gap histograms record inter-event spacing. Only
+	// maintained when the matching histogram is bound.
+	obsLastSend des.Time
+	obsSent     bool
+	obsLastCNP  des.Time
+	obsSawCNP   bool
 }
 
 // Handler arguments: the sender is its own des.Handler, dispatching its
@@ -368,6 +381,7 @@ func (s *Sender) sendNext() {
 	pkt.Seq = s.sent
 	pkt.Last = last
 	s.e.host.Send(pkt)
+	s.obsPace()
 	if s.e.p.Recovery {
 		if s.sent < s.maxSent {
 			s.retxBytes += size
@@ -430,6 +444,7 @@ func (s *Sender) onCNP() {
 	if s.done || !s.started {
 		return
 	}
+	s.obsCNPGap()
 	s.rt = s.rc
 	s.rc *= 1 - s.alpha/2
 	if s.rc < s.e.p.MinRate {

@@ -12,13 +12,50 @@ import (
 // observer first). Every hook site below is a nil check when observability
 // is off, so unobserved runs are untouched.
 
-// bindObs registers the endpoint's counters under "dcqcn.n<hostID>".
+// bindObs registers the endpoint's counters under "dcqcn.n<hostID>" and
+// its latency histograms under the protocol-wide names "dcqcn.cnp_gap_s"
+// and "dcqcn.pace_gap_s" (all senders on a run feed one distribution, as
+// the paper's per-protocol behaviour plots do).
 func (e *Endpoint) bindObs() {
 	o := e.host.Net().Observer()
-	if o == nil || o.Metrics == nil {
+	if o == nil {
 		return
 	}
-	e.ctr = o.Metrics.EndpointCounters(fmt.Sprintf("dcqcn.n%d", e.host.ID()))
+	if o.Metrics != nil {
+		e.ctr = o.Metrics.EndpointCounters(fmt.Sprintf("dcqcn.n%d", e.host.ID()))
+	}
+	e.cnpGapH = o.Hist("dcqcn.cnp_gap_s")
+	e.paceGapH = o.Hist("dcqcn.pace_gap_s")
+}
+
+// obsPace records the gap since this sender's previous data packet into
+// the pacing-gap histogram; a single nil check when observability is off.
+func (s *Sender) obsPace() {
+	h := s.e.paceGapH
+	if h == nil {
+		return
+	}
+	now := s.e.host.Now()
+	if s.obsSent {
+		h.Record(now.Sub(s.obsLastSend).Seconds())
+	}
+	s.obsSent = true
+	s.obsLastSend = now
+}
+
+// obsCNPGap records the gap since this sender's previous CNP arrival into
+// the CNP inter-arrival histogram.
+func (s *Sender) obsCNPGap() {
+	h := s.e.cnpGapH
+	if h == nil {
+		return
+	}
+	now := s.e.host.Now()
+	if s.obsSawCNP {
+		h.Record(now.Sub(s.obsLastCNP).Seconds())
+	}
+	s.obsSawCNP = true
+	s.obsLastCNP = now
 }
 
 // obsRetx records one retransmitted packet (counters plus a trace record).

@@ -85,6 +85,11 @@ type FCTConfig struct {
 	// (the fig14/15/16 load×protocol grids) set it per sub-run so the
 	// exported series stay distinguishable.
 	ProbeName string
+	// HistPrefix prefixes the run's flow-completion-time histogram names
+	// ("fct_all_s", "fct_small_s") before the observer's ProbeName
+	// qualification, playing the same per-sub-run role as ProbeName for
+	// the latency distributions.
+	HistPrefix string
 }
 
 // FCTResult aggregates one run.
@@ -187,6 +192,10 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 		start[f.ID] = f.Start
 		size[f.ID] = f.Size
 	}
+	// fctAllH/fctSmallH stream the same completion times the slices above
+	// collect into mergeable histograms (nil without an observer HistSet).
+	fctAllH := cfg.Observer.Hist(cfg.HistPrefix + "fct_all_s")
+	fctSmallH := cfg.Observer.Hist(cfg.HistPrefix + "fct_small_s")
 	complete := func(flowID int, at des.Time) {
 		s, ok := start[flowID]
 		if !ok {
@@ -198,8 +207,14 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 		}
 		fct := at.Seconds() - s
 		res.AllFCT = append(res.AllFCT, fct)
+		if fctAllH != nil {
+			fctAllH.Record(fct)
+		}
 		if size[flowID] < cfg.SmallBytes {
 			res.SmallFCT = append(res.SmallFCT, fct)
+			if fctSmallH != nil {
+				fctSmallH.Record(fct)
+			}
 		}
 	}
 

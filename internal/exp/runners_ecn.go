@@ -65,8 +65,9 @@ func runFig14(o Options) (*Report, error) {
 			r, err := RunFCT(FCTConfig{
 				Protocol: proto, LoadFactor: load,
 				Horizon: horizon, Warmup: warmup, Drain: drain, Seed: o.Seed,
-				Observer:  o.Observer,
-				ProbeName: fmt.Sprintf("queue_bytes.load%.1f.%s", load, proto),
+				Observer:   o.Observer,
+				ProbeName:  fmt.Sprintf("queue_bytes.load%.1f.%s", load, proto),
+				HistPrefix: fmt.Sprintf("load%.1f.%s.", load, proto),
 			})
 			if err != nil {
 				return nil, err
@@ -103,8 +104,9 @@ func runFig15(o Options) (*Report, error) {
 		r, err := RunFCT(FCTConfig{
 			Protocol: proto, LoadFactor: 0.8,
 			Horizon: horizon, Warmup: warmup, Drain: drain, Seed: o.Seed,
-			Observer:  o.Observer,
-			ProbeName: fmt.Sprintf("queue_bytes.%s", proto),
+			Observer:   o.Observer,
+			ProbeName:  fmt.Sprintf("queue_bytes.%s", proto),
+			HistPrefix: fmt.Sprintf("%s.", proto),
 		})
 		if err != nil {
 			return nil, err
@@ -137,8 +139,9 @@ func runFig16(o Options) (*Report, error) {
 		r, err := RunFCT(FCTConfig{
 			Protocol: proto, LoadFactor: 0.8,
 			Horizon: horizon, Warmup: warmup, Drain: drain, Seed: o.Seed,
-			Observer:  o.Observer,
-			ProbeName: fmt.Sprintf("queue_bytes.%s", proto),
+			Observer:   o.Observer,
+			ProbeName:  fmt.Sprintf("queue_bytes.%s", proto),
+			HistPrefix: fmt.Sprintf("%s.", proto),
 		})
 		if err != nil {
 			return nil, err

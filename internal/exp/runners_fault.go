@@ -47,10 +47,11 @@ func runFaultLoss(o Options) (*Report, error) {
 				Protocol: proto, LoadFactor: 0.6,
 				Horizon: horizon, Warmup: warmup, Drain: drain, Seed: o.Seed,
 				DataLossRate: rate, CtrlLossRate: rate,
-				FaultSeed: o.Seed + 100,
-				Recovery:  true,
-				Observer:  o.Observer,
-				ProbeName: fmt.Sprintf("queue_bytes.loss%g.%s", rate, proto),
+				FaultSeed:  o.Seed + 100,
+				Recovery:   true,
+				Observer:   o.Observer,
+				ProbeName:  fmt.Sprintf("queue_bytes.loss%g.%s", rate, proto),
+				HistPrefix: fmt.Sprintf("loss%g.%s.", rate, proto),
 			})
 			if err != nil {
 				return nil, err

@@ -125,6 +125,9 @@ type Port struct {
 	// ctr is the port's bound counter set; nil when no observer (or no
 	// metrics registry) is attached.
 	ctr *obs.PortCounters
+	// qdH is the port's bound per-hop queueing-delay histogram; nil when
+	// no observer (or no histogram set) is attached.
+	qdH *obs.Hist
 
 	// TxBytes counts payload transmitted, for utilisation accounting.
 	TxBytes int64

@@ -49,15 +49,20 @@ const (
 	obsDequeue = obs.Dequeue
 )
 
-// bindObs registers the port's counter set with the observer's registry.
-// Called when the port is created or when an observer is attached.
+// bindObs registers the port's counter set with the observer's registry
+// and its queueing-delay histogram with the observer's HistSet. Called
+// when the port is created or when an observer is attached.
 func (p *Port) bindObs() {
 	o := p.net.obs
-	if o == nil || o.Metrics == nil {
-		p.ctr = nil
+	p.ctr = nil
+	p.qdH = nil
+	if o == nil {
 		return
 	}
-	p.ctr = o.Metrics.PortCounters(PortName(p.owner.ID(), p.peer.ID()))
+	if o.Metrics != nil {
+		p.ctr = o.Metrics.PortCounters(PortName(p.owner.ID(), p.peer.ID()))
+	}
+	p.qdH = o.Hist(PortName(p.owner.ID(), p.peer.ID()) + ".qdelay_s")
 }
 
 // obsEvent fills the port-invariant fields of a trace record and routes it

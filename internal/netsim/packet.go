@@ -71,6 +71,7 @@ type Packet struct {
 	SentAt des.Time // stamped by the sender when handed to the NIC
 	EchoT  des.Time // Ack: echo of the acknowledged packet's SentAt
 	Bytes  int      // Ack: payload bytes covered by this completion event
+	EnqT   des.Time // stamped at each egress-queue Push (per-hop delay histograms)
 
 	ingress int // switch-internal: ingress port index while buffered
 

@@ -68,6 +68,9 @@ func (q *Queue) Push(pkt *Packet) bool {
 		return false
 	}
 	ceBefore := pkt.CE
+	if q.port != nil {
+		pkt.EnqT = q.port.net.Sim.Now()
+	}
 	q.pkts = append(q.pkts, pkt)
 	q.bytes += pkt.Size
 	if q.mark != nil && q.mark.AtEnqueue() {
@@ -108,8 +111,13 @@ func (q *Queue) Pop() *Packet {
 		q.pkts = q.pkts[:0]
 		q.head = 0
 	}
-	if q.port != nil && q.port.net.obs != nil {
-		q.port.obsQueue(obsDequeue, pkt, ceBefore)
+	if q.port != nil {
+		if h := q.port.qdH; h != nil {
+			h.Record(q.port.net.Sim.Now().Sub(pkt.EnqT).Seconds())
+		}
+		if q.port.net.obs != nil {
+			q.port.obsQueue(obsDequeue, pkt, ceBefore)
+		}
 	}
 	return pkt
 }

@@ -1,0 +1,389 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Streaming latency histograms. Hist is a log-bucketed (HDR-style)
+// fixed-size histogram: every power-of-two octave is split into HistSub
+// linear sub-buckets, so any recorded value lands in a bucket whose width
+// is at most 1/HistSub of its magnitude. Recording is a handful of atomic
+// operations on preallocated arrays — zero steady-state allocations, safe
+// for concurrent writers (sweep workers sharing one instance) and for
+// concurrent readers (the telemetry server snapshotting mid-run).
+//
+// Two instances are mergeable: bucket counts, totals and min/max all
+// commute, so per-worker histograms merged in any order, or one histogram
+// shared by every worker, produce identical quantiles for any worker
+// count. Sum (kept for live mean/Prometheus export) is a float
+// accumulator and is deliberately excluded from the canonical file
+// exports, which must be byte-deterministic across schedules.
+
+// HistSub is the number of linear sub-buckets per power-of-two octave:
+// the histogram's relative resolution is 1/HistSub (~3.1%), and every
+// quantile it reports is within half a bucket width of the exact
+// statistic.
+const HistSub = 32
+
+// The tracked octave range: values in [2^histMinExp, 2^histMaxExp) are
+// bucketed at full resolution — for seconds that spans ~1e-12 s to
+// ~1.7e13 s, for byte counts 1e-12 B to 17 TB. Values at or below zero
+// (and positive underflow) land in the dedicated bucket 0; overflow
+// clamps into the top bucket. Min/Max stay exact either way.
+const (
+	histMinExp  = -40
+	histMaxExp  = 44
+	histBuckets = (histMaxExp - histMinExp) * HistSub
+)
+
+// HistQuantiles is the canonical percentile set every export carries.
+var HistQuantiles = [...]float64{0.50, 0.90, 0.95, 0.99, 0.999}
+
+// histQuantileLabels matches HistQuantiles in the export schemas.
+var histQuantileLabels = [...]string{"p50", "p90", "p95", "p99", "p999"}
+
+// Hist is one streaming histogram. Create with NewHist or through a
+// HistSet; the zero value is not usable (min/max need seeding).
+type Hist struct {
+	name    string
+	count   atomic.Int64
+	sum     atomic.Uint64 // float64 bits
+	min     atomic.Uint64 // float64 bits, +Inf when empty
+	max     atomic.Uint64 // float64 bits, -Inf when empty
+	buckets [histBuckets + 1]atomic.Int64
+}
+
+// NewHist returns an empty histogram.
+func NewHist(name string) *Hist {
+	h := &Hist{name: name}
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Name reports the histogram's name.
+func (h *Hist) Name() string { return h.name }
+
+// histBucketIndex maps a value to its bucket.
+func histBucketIndex(v float64) int {
+	if !(v > 0) { // catches <= 0 and NaN
+		return 0
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	if exp <= histMinExp {
+		return 0
+	}
+	if exp > histMaxExp {
+		return histBuckets
+	}
+	sub := int((frac - 0.5) * 2 * HistSub)
+	if sub >= HistSub { // guard the frac == nextafter(1, 0) edge
+		sub = HistSub - 1
+	}
+	return (exp-histMinExp-1)*HistSub + sub + 1
+}
+
+// histBucketMid returns the representative value (arithmetic midpoint) of
+// a bucket. Bucket 0 (zero/underflow) is represented by 0.
+func histBucketMid(idx int) float64 {
+	if idx <= 0 {
+		return 0
+	}
+	i := idx - 1
+	e := histMinExp + 1 + i/HistSub
+	sub := i % HistSub
+	lo := math.Ldexp(1+float64(sub)/HistSub, e-1)
+	hi := math.Ldexp(1+float64(sub+1)/HistSub, e-1)
+	return (lo + hi) / 2
+}
+
+// histBucketUpper returns a bucket's exclusive upper edge (the Prometheus
+// "le" bound).
+func histBucketUpper(idx int) float64 {
+	if idx <= 0 {
+		return math.Ldexp(1, histMinExp)
+	}
+	i := idx - 1
+	e := histMinExp + 1 + i/HistSub
+	sub := i % HistSub
+	return math.Ldexp(1+float64(sub+1)/HistSub, e-1)
+}
+
+// atomicAddFloat accumulates v into a float64 stored as bits.
+func atomicAddFloat(u *atomic.Uint64, v float64) {
+	for {
+		old := u.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if u.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// atomicMinFloat lowers the stored float to v if smaller.
+func atomicMinFloat(u *atomic.Uint64, v float64) {
+	for {
+		old := u.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if u.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// atomicMaxFloat raises the stored float to v if larger.
+func atomicMaxFloat(u *atomic.Uint64, v float64) {
+	for {
+		old := u.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if u.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Record adds one observation. It never allocates and is safe for
+// concurrent use.
+func (h *Hist) Record(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.buckets[histBucketIndex(v)].Add(1)
+	h.count.Add(1)
+	atomicAddFloat(&h.sum, v)
+	atomicMinFloat(&h.min, v)
+	atomicMaxFloat(&h.max, v)
+}
+
+// Count reports the number of recorded observations.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Sum reports the running total of recorded values. Unlike counts and
+// quantiles it is a float accumulation, so its low bits may differ across
+// recording orders; canonical exports omit it.
+func (h *Hist) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Min reports the smallest recorded value (0 when empty).
+func (h *Hist) Min() float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.min.Load())
+}
+
+// Max reports the largest recorded value (0 when empty).
+func (h *Hist) Max() float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.max.Load())
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) as the midpoint of the
+// bucket holding that rank, clamped into [Min, Max]; 0 when empty. The
+// result is within the bucket's width — at most a 1/HistSub relative
+// error — of the exact order statistic.
+func (h *Hist) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank <= 1 {
+		return h.Min() // p0 and the first rank are the exact minimum
+	}
+	if rank >= n {
+		return h.Max() // p100 is the exact maximum
+	}
+	var cum int64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			v := histBucketMid(i)
+			if min := h.Min(); v < min {
+				v = min
+			}
+			if max := h.Max(); v > max {
+				v = max
+			}
+			return v
+		}
+	}
+	return h.Max()
+}
+
+// Merge folds other's observations into h. Bucket counts, counts and
+// min/max commute, so any merge order (and any worker sharding) yields
+// identical quantiles.
+func (h *Hist) Merge(other *Hist) {
+	for i := range h.buckets {
+		if c := other.buckets[i].Load(); c != 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+	n := other.count.Load()
+	if n == 0 {
+		return
+	}
+	h.count.Add(n)
+	atomicAddFloat(&h.sum, other.Sum())
+	atomicMinFloat(&h.min, math.Float64frombits(other.min.Load()))
+	atomicMaxFloat(&h.max, math.Float64frombits(other.max.Load()))
+}
+
+// ForEachBucket calls fn with the exclusive upper bound and count of every
+// non-empty bucket, in increasing bound order (the shape Prometheus
+// histogram exposition wants).
+func (h *Hist) ForEachBucket(fn func(upper float64, count int64)) {
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c != 0 {
+			fn(histBucketUpper(i), c)
+		}
+	}
+}
+
+// HistSummary is one histogram's canonical export row.
+type HistSummary struct {
+	Name      string
+	Count     int64
+	Min, Max  float64
+	Quantiles [len(HistQuantiles)]float64
+}
+
+// Summary snapshots the histogram's canonical export values.
+func (h *Hist) Summary() HistSummary {
+	s := HistSummary{Name: h.name, Count: h.Count(), Min: h.Min(), Max: h.Max()}
+	for i, q := range HistQuantiles {
+		s.Quantiles[i] = h.Quantile(q)
+	}
+	return s
+}
+
+// HistSet is a collection of named histograms. Hist is get-or-create, so
+// independent components (endpoints created across sweep jobs) share an
+// instrument by agreeing on its name — recording then merges for free.
+// Lookup is mutex-guarded; hot paths bind once and keep the pointer.
+type HistSet struct {
+	mu    sync.Mutex
+	hists map[string]*Hist
+}
+
+// NewHistSet returns an empty set.
+func NewHistSet() *HistSet {
+	return &HistSet{hists: make(map[string]*Hist)}
+}
+
+// Hist returns the histogram registered under name, creating it on first
+// use.
+func (hs *HistSet) Hist(name string) *Hist {
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	h, ok := hs.hists[name]
+	if !ok {
+		h = NewHist(name)
+		hs.hists[name] = h
+	}
+	return h
+}
+
+// Hists returns the registered histograms sorted by name — the canonical,
+// byte-comparable order.
+func (hs *HistSet) Hists() []*Hist {
+	hs.mu.Lock()
+	out := make([]*Hist, 0, len(hs.hists))
+	for _, h := range hs.hists {
+		out = append(out, h)
+	}
+	hs.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// WriteTSV renders every histogram as one row of
+//
+//	name\tcount\tmin\tmax\tp50\tp90\tp95\tp99\tp999
+//
+// after a "#"-prefixed header, sorted by name. All values derive from
+// integer bucket counts and exact min/max, so the output is
+// byte-identical across runs and worker counts.
+func (hs *HistSet) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("# hist\tcount\tmin\tmax\tp50\tp90\tp95\tp99\tp999\n"); err != nil {
+		return err
+	}
+	var buf []byte
+	for _, h := range hs.Hists() {
+		s := h.Summary()
+		buf = buf[:0]
+		buf = append(buf, s.Name...)
+		buf = append(buf, '\t')
+		buf = strconv.AppendInt(buf, s.Count, 10)
+		buf = append(buf, '\t')
+		buf = strconv.AppendFloat(buf, s.Min, 'g', -1, 64)
+		buf = append(buf, '\t')
+		buf = strconv.AppendFloat(buf, s.Max, 'g', -1, 64)
+		for _, q := range s.Quantiles {
+			buf = append(buf, '\t')
+			buf = strconv.AppendFloat(buf, q, 'g', -1, 64)
+		}
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL renders every histogram as one JSON object per line:
+//
+//	{"hist":"fct_s","count":42,"min":1e-05,"max":0.3,"p50":...,"p90":...,"p95":...,"p99":...,"p999":...}
+//
+// in name order with shortest round-trip floats — byte-identical across
+// identical runs and worker counts. cmd/obsreport consumes this format.
+func (hs *HistSet) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for _, h := range hs.Hists() {
+		s := h.Summary()
+		buf = buf[:0]
+		buf = append(buf, `{"hist":`...)
+		buf = strconv.AppendQuote(buf, s.Name)
+		buf = append(buf, `,"count":`...)
+		buf = strconv.AppendInt(buf, s.Count, 10)
+		buf = append(buf, `,"min":`...)
+		buf = strconv.AppendFloat(buf, s.Min, 'g', -1, 64)
+		buf = append(buf, `,"max":`...)
+		buf = strconv.AppendFloat(buf, s.Max, 'g', -1, 64)
+		for i, q := range s.Quantiles {
+			buf = append(buf, `,"`...)
+			buf = append(buf, histQuantileLabels[i]...)
+			buf = append(buf, `":`...)
+			buf = strconv.AppendFloat(buf, q, 'g', -1, 64)
+		}
+		buf = append(buf, '}', '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -40,6 +40,12 @@ type NetObserver struct {
 	// Probes collects auto-registered time-series probes (bottleneck
 	// queue depth and similar); experiment harnesses add their own.
 	Probes *ProbeSet
+	// Hists collects streaming latency histograms: per-hop queueing
+	// delay, per-flow RTT, pacing/CNP inter-arrival gaps, flow
+	// completion times. Instruments are get-or-create by name, so
+	// concurrent runs sharing one set merge their distributions; names
+	// are qualified through ProbeName like probe series.
+	Hists *HistSet
 	// ProbeEvery is the sampling cadence for auto-registered probes
 	// (zero: 100 µs). See EXPERIMENTS.md for cadence guidance.
 	ProbeEvery des.Duration
@@ -49,6 +55,13 @@ type NetObserver struct {
 	// distinguishable series and exports in an order independent of job
 	// scheduling.
 	ProbePrefix string
+	// TracePerJob, when set, gives every sweep job a private tracer: the
+	// job orchestrator calls it with the job's ID when deriving the job's
+	// observer copy and installs the result as that copy's Trace. A shared
+	// Trace stream interleaves jobs by completion order; per-job tracers
+	// (normally backed by per-job files) make trace output deterministic
+	// for any worker count.
+	TracePerJob func(jobID string) *Tracer
 }
 
 // Emit routes one event to the tracer and the invariant checker. Callers
@@ -79,6 +92,17 @@ func (o *NetObserver) ProbeName(name string) string {
 	return o.ProbePrefix + name
 }
 
+// Hist returns the named histogram from the observer's set, with the
+// name qualified by ProbePrefix like a probe series. It returns nil when
+// the observer or its HistSet is absent, so binding sites can keep a nil
+// pointer and skip recording with one check.
+func (o *NetObserver) Hist(name string) *Hist {
+	if o == nil || o.Hists == nil {
+		return nil
+	}
+	return o.Hists.Hist(o.ProbeName(name))
+}
+
 // Full returns an observer with every facility enabled: a fresh registry,
 // a tracer with no sinks (attach some, or use Counts), a checker, and a
 // probe set. Convenient for tests that want everything on.
@@ -88,6 +112,7 @@ func Full() *NetObserver {
 		Trace:   NewTracer(),
 		Check:   NewChecker(),
 		Probes:  NewProbeSet(),
+		Hists:   NewHistSet(),
 	}
 }
 

@@ -19,9 +19,12 @@ type Sample struct {
 
 // Probe is a fixed-cadence time series in a preallocated ring buffer: once
 // the buffer fills, the oldest samples are overwritten and counted, never
-// silently lost. Recording never allocates.
+// silently lost. Recording never allocates. The ring is mutex-guarded so
+// the telemetry server can snapshot a probe while the run still records;
+// an uncontended lock keeps the recording path allocation-free.
 type Probe struct {
 	name    string
+	mu      sync.Mutex
 	ring    []Sample
 	head    int // next write position
 	n       int // samples currently retained
@@ -46,6 +49,7 @@ func (p *Probe) Name() string { return p.name }
 
 // Record appends one sample, overwriting the oldest when the ring is full.
 func (p *Probe) Record(t, v float64) {
+	p.mu.Lock()
 	p.ring[p.head] = Sample{T: t, V: v}
 	p.head++
 	if p.head == len(p.ring) {
@@ -56,21 +60,28 @@ func (p *Probe) Record(t, v float64) {
 	} else {
 		p.dropped++
 	}
+	p.mu.Unlock()
 }
 
 // Len reports the number of retained samples.
-func (p *Probe) Len() int { return p.n }
+func (p *Probe) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
 
 // Dropped reports samples overwritten because the ring wrapped.
-func (p *Probe) Dropped() int64 { return p.dropped }
+func (p *Probe) Dropped() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
 
 // Samples returns the retained samples in chronological order (a copy).
 func (p *Probe) Samples() []Sample {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	out := make([]Sample, 0, p.n)
-	return p.appendSamples(out)
-}
-
-func (p *Probe) appendSamples(out []Sample) []Sample {
 	start := p.head - p.n
 	if start < 0 {
 		start += len(p.ring)
@@ -130,8 +141,14 @@ func (ps *ProbeSet) Probes() []*Probe {
 //
 //	{"probe":"queue_bytes","t":0.0001,"v":20000}
 //
-// Probes export in name order, samples chronologically, and floats in
-// Go's shortest round-trip form — byte-identical across identical runs.
+// A probe whose ring wrapped additionally emits, after its samples, one
+//
+//	{"probe":"queue_bytes","dropped":123}
+//
+// record carrying the overwrite count, so consumers can tell a short
+// series from a truncated one. Probes export in name order, samples
+// chronologically, and floats in Go's shortest round-trip form —
+// byte-identical across identical runs.
 func (ps *ProbeSet) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	var buf []byte
@@ -144,6 +161,17 @@ func (ps *ProbeSet) WriteJSONL(w io.Writer) error {
 			buf = strconv.AppendFloat(buf, s.T, 'g', -1, 64)
 			buf = append(buf, `,"v":`...)
 			buf = strconv.AppendFloat(buf, s.V, 'g', -1, 64)
+			buf = append(buf, '}', '\n')
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+		if d := p.Dropped(); d > 0 {
+			buf = buf[:0]
+			buf = append(buf, `{"probe":`...)
+			buf = strconv.AppendQuote(buf, p.name)
+			buf = append(buf, `,"dropped":`...)
+			buf = strconv.AppendInt(buf, d, 10)
 			buf = append(buf, '}', '\n')
 			if _, err := bw.Write(buf); err != nil {
 				return err

@@ -101,6 +101,67 @@ func TestProbeSetCanonicalExport(t *testing.T) {
 	}
 }
 
+func TestProbeOverflowExportsDropped(t *testing.T) {
+	// A probe whose ring wrapped must say so in the canonical export: the
+	// trailing {"probe":...,"dropped":N} record. A probe that never
+	// wrapped must not emit one.
+	ps := NewProbeSet()
+	full := ps.NewProbe("wrapped", 2)
+	ok := ps.NewProbe("whole", 8)
+	for i := 0; i < 5; i++ {
+		full.Record(float64(i), float64(i))
+		ok.Record(float64(i), float64(i))
+	}
+	var sb strings.Builder
+	if err := ps.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `{"probe":"wrapped","dropped":3}`) {
+		t.Errorf("missing dropped record:\n%s", out)
+	}
+	if strings.Contains(out, `{"probe":"whole","dropped"`) {
+		t.Errorf("unwrapped probe must not export a dropped record:\n%s", out)
+	}
+	// The dropped record follows its probe's own samples.
+	di := strings.Index(out, `"dropped"`)
+	li := strings.LastIndex(out, `{"probe":"wrapped","t"`)
+	if di < li {
+		t.Errorf("dropped record must follow its probe's samples:\n%s", out)
+	}
+}
+
+func TestProbeConcurrentReadDuringRecord(t *testing.T) {
+	// The telemetry server snapshots probes while the run records; under
+	// -race this pins the ring as data-race free.
+	p := NewProbe("live", 128)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			p.Record(float64(i), float64(i))
+		}
+	}()
+	for {
+		s := p.Samples()
+		for i := 1; i < len(s); i++ {
+			if s[i].T < s[i-1].T {
+				t.Fatalf("snapshot out of order at %d: %v then %v", i, s[i-1], s[i])
+			}
+		}
+		_ = p.Len()
+		_ = p.Dropped()
+		select {
+		case <-done:
+			if p.Len() != 128 || p.Dropped() != 5000-128 {
+				t.Fatalf("final len=%d dropped=%d", p.Len(), p.Dropped())
+			}
+			return
+		default:
+		}
+	}
+}
+
 func TestProbeSetDuplicateNamesStable(t *testing.T) {
 	// Two probes under the same name (e.g. two sequential RunFCT calls
 	// sharing an observer) export in insertion order, stably.

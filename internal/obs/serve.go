@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Server exposes live telemetry for a running simulation or sweep over
+// HTTP:
+//
+//	/metrics        counters, gauges and histograms in Prometheus text format
+//	/progress       a JSON snapshot from the pluggable progress provider
+//	/probes         probe ring-buffer snapshots as JSONL
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// Every endpoint reads only the observer's lock- or atomic-guarded state,
+// so serving concurrent scrapes never perturbs the simulation: a run with
+// the server enabled is bit-identical to one without it. The server is
+// opt-in — commands start one only when asked (-serve).
+type Server struct {
+	obs *NetObserver
+
+	mu       sync.Mutex
+	progress func() any
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer wraps an observer (which may have any subset of facilities
+// attached; absent ones simply export nothing).
+func NewServer(o *NetObserver) *Server {
+	return &Server{obs: o}
+}
+
+// SetProgress installs the /progress provider: a function returning any
+// JSON-marshalable snapshot of live run state (sweep job states, sim
+// clock, ETA). Without one, /progress answers 404. Safe to call while the
+// server runs.
+func (s *Server) SetProgress(fn func() any) {
+	s.mu.Lock()
+	s.progress = fn
+	s.mu.Unlock()
+}
+
+// Start binds addr (host:port; port 0 picks a free one) and serves in a
+// background goroutine. It returns the bound address, so callers using
+// port 0 can report where the server landed.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: telemetry listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/probes", s.handleProbes)
+	// Mount pprof explicitly on this private mux; the package's implicit
+	// registration on http.DefaultServeMux is never served.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.ln = ln
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server immediately (in-flight scrapes are dropped; the
+// simulation owns shutdown timing, not the scraper).
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WritePrometheus(w, s.obs)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	fn := s.progress
+	s.mu.Unlock()
+	if fn == nil {
+		http.Error(w, "no progress provider attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(fn()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleProbes(w http.ResponseWriter, _ *http.Request) {
+	if s.obs == nil || s.obs.Probes == nil {
+		http.Error(w, "no probe set attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = s.obs.Probes.WriteJSONL(w)
+}
+
+// promName rewrites a dotted instrument name ("port.n0-n2.tx_bytes") into
+// a legal Prometheus metric name under the ecndelay_ namespace.
+func promName(name string) string {
+	out := make([]byte, 0, len(name)+len("ecndelay_"))
+	out = append(out, "ecndelay_"...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// WritePrometheus renders the observer's counters, gauges, histograms and
+// probe overflow counters in the Prometheus text exposition format. It
+// reads only atomic and mutex-guarded state, so it is safe against a
+// concurrently recording run.
+func WritePrometheus(w io.Writer, o *NetObserver) error {
+	bw := bufio.NewWriter(w)
+	if o == nil {
+		return bw.Flush()
+	}
+	if o.Metrics != nil {
+		for _, m := range o.Metrics.Snapshot() {
+			name := promName(m.Name)
+			typ := "counter"
+			if m.Gauge {
+				typ = "gauge"
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n%s %d\n", name, typ, name, m.Value)
+		}
+	}
+	if o.Hists != nil {
+		for _, h := range o.Hists.Hists() {
+			name := promName(h.Name())
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+			var cum int64
+			h.ForEachBucket(func(upper float64, count int64) {
+				cum += count
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(upper, 'g', -1, 64), cum)
+			})
+			// Mid-run, Record bumps a bucket before the total, so the
+			// atomic count can trail the bucket sum for an instant; clamp
+			// so the exposition stays cumulative-monotone.
+			total := h.Count()
+			if total < cum {
+				total = cum
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+			fmt.Fprintf(bw, "%s_sum %s\n", name, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+			fmt.Fprintf(bw, "%s_count %d\n", name, total)
+		}
+	}
+	if o.Probes != nil {
+		probes := o.Probes.Probes()
+		wroteType := false
+		for _, p := range probes {
+			d := p.Dropped()
+			if d == 0 {
+				continue
+			}
+			if !wroteType {
+				fmt.Fprint(bw, "# TYPE ecndelay_probe_dropped_total counter\n")
+				wroteType = true
+			}
+			fmt.Fprintf(bw, "ecndelay_probe_dropped_total{probe=%q} %d\n", p.Name(), d)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9eE+.i-]+(nf)?$`)
+
+// checkPrometheusText validates the exposition body line by line: every
+// line is a comment or "name[{labels}] value" with a parseable value, and
+// histogram bucket lines are cumulative-monotone per series.
+func checkPrometheusText(t *testing.T, body string) (lines int) {
+	t.Helper()
+	lastCum := map[string]int64{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "# ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("bad exposition line: %q", line)
+		}
+		lines++
+		sp := strings.LastIndexByte(line, ' ')
+		name, val := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		if i := strings.Index(name, "_bucket{"); i >= 0 {
+			series := name[:i]
+			cum, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket count not an integer: %q", line)
+			}
+			if cum < lastCum[series] {
+				t.Fatalf("bucket counts not cumulative for %s: %d after %d", series, cum, lastCum[series])
+			}
+			lastCum[series] = cum
+		}
+	}
+	return lines
+}
+
+// TestServerEndpoints exercises every endpoint against a live, concurrently
+// recording observer — under -race this pins the scrape path as data-race
+// free and the exposition as well-formed mid-run.
+func TestServerEndpoints(t *testing.T) {
+	o := Full()
+	o.Metrics.PortCounters("port.n0-n1").TxBytes.Add(7)
+	o.Metrics.Gauge("sweep.jobs_running").Set(3)
+	p := o.Probes.NewProbe("queue_bytes", 4)
+	for i := 0; i < 9; i++ { // wraps: 5 dropped
+		p.Record(float64(i), float64(i))
+	}
+
+	srv := NewServer(o)
+	srv.SetProgress(func() any {
+		return map[string]any{"done": 2, "total": 10}
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Hammer the histogram while scraping.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := o.Hist("timely.rtt_s")
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Record(50e-6 + float64(i%100)*1e-6)
+			}
+		}
+	}()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	for i := 0; i < 5; i++ {
+		code, body := get("/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("/metrics status %d", code)
+		}
+		if n := checkPrometheusText(t, body); n == 0 {
+			t.Fatal("/metrics exported nothing")
+		}
+		if !strings.Contains(body, "ecndelay_port_n0_n1_tx_bytes 7") {
+			t.Errorf("missing counter:\n%s", body)
+		}
+		if !strings.Contains(body, `ecndelay_probe_dropped_total{probe="queue_bytes"} 5`) {
+			t.Errorf("missing probe drop counter:\n%s", body)
+		}
+		if i > 0 && !strings.Contains(body, "ecndelay_timely_rtt_s_count") {
+			t.Errorf("missing histogram series:\n%s", body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	code, body := get("/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress status %d", code)
+	}
+	var prog map[string]any
+	if err := json.Unmarshal([]byte(body), &prog); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, body)
+	}
+	if prog["total"] != float64(10) {
+		t.Errorf("progress = %v", prog)
+	}
+
+	code, body = get("/probes")
+	if code != http.StatusOK {
+		t.Fatalf("/probes status %d", code)
+	}
+	if !strings.Contains(body, `{"probe":"queue_bytes","t":`) ||
+		!strings.Contains(body, `{"probe":"queue_bytes","dropped":5}`) {
+		t.Errorf("unexpected /probes body:\n%s", body)
+	}
+
+	code, _ = get("/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+// TestServerWithoutFacilities checks the degraded paths: no progress
+// provider, no probe set, nil observer.
+func TestServerWithoutFacilities(t *testing.T) {
+	srv := NewServer(&NetObserver{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for path, want := range map[string]int{
+		"/metrics":  http.StatusOK,
+		"/progress": http.StatusNotFound,
+		"/probes":   http.StatusNotFound,
+	} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, nil); err != nil || sb.Len() != 0 {
+		t.Errorf("nil observer must export nothing: %q err=%v", sb.String(), err)
+	}
+}

@@ -1,0 +1,127 @@
+package sweep
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Status is a thread-safe live view of one engine invocation, built for
+// the telemetry server's /progress endpoint: pass one in Config.Status,
+// hand Snapshot to obs.Server.SetProgress, and concurrent scrapes see
+// job states, counts and an ETA without touching the workers. The board
+// is observation-only — attaching one changes no scheduling, seeding or
+// output.
+type Status struct {
+	mu      sync.Mutex
+	started time.Time
+	total   int
+	skipped int
+	done    int
+	failed  int
+	retried int
+	panics  int
+	running map[string]*runningJob
+}
+
+type runningJob struct {
+	since   time.Time
+	attempt int
+}
+
+// NewStatus returns an empty board.
+func NewStatus() *Status {
+	return &Status{running: make(map[string]*runningJob)}
+}
+
+func (s *Status) begin(total, skipped int) {
+	s.mu.Lock()
+	s.started = time.Now()
+	s.total = total
+	s.skipped = skipped
+	s.mu.Unlock()
+}
+
+func (s *Status) jobStarted(id string) {
+	s.mu.Lock()
+	s.running[id] = &runningJob{since: time.Now(), attempt: 1}
+	s.mu.Unlock()
+}
+
+func (s *Status) jobAttempt(id string, attempt int) {
+	s.mu.Lock()
+	if j := s.running[id]; j != nil {
+		j.attempt = attempt
+	}
+	s.mu.Unlock()
+}
+
+func (s *Status) jobFinished(r Result) {
+	s.mu.Lock()
+	delete(s.running, r.JobID)
+	s.done++
+	if r.Err != "" {
+		s.failed++
+	}
+	s.retried += r.Retries
+	s.panics += r.Panics
+	s.mu.Unlock()
+}
+
+// RunningJob is one in-flight job in a snapshot.
+type RunningJob struct {
+	ID       string  `json:"job"`
+	Attempt  int     `json:"attempt"`
+	RunningS float64 `json:"running_s"`
+}
+
+// StatusSnapshot is the JSON shape /progress serves.
+type StatusSnapshot struct {
+	Total      int          `json:"total"`
+	Skipped    int          `json:"skipped"`
+	Done       int          `json:"done"`
+	Failed     int          `json:"failed"`
+	Retried    int          `json:"retried"`
+	Panics     int          `json:"panics"`
+	Running    []RunningJob `json:"running"`
+	ElapsedS   float64      `json:"elapsed_s"`
+	JobsPerSec float64      `json:"jobs_per_sec"`
+	// ETAS estimates seconds until the sweep drains at the observed
+	// completion rate; 0 until the first job finishes.
+	ETAS float64 `json:"eta_s"`
+}
+
+// Snapshot captures the board. The running list is sorted by job ID so
+// repeated scrapes render stably.
+func (s *Status) Snapshot() StatusSnapshot {
+	now := time.Now()
+	s.mu.Lock()
+	snap := StatusSnapshot{
+		Total:   s.total,
+		Skipped: s.skipped,
+		Done:    s.done,
+		Failed:  s.failed,
+		Retried: s.retried,
+		Panics:  s.panics,
+	}
+	if !s.started.IsZero() {
+		snap.ElapsedS = now.Sub(s.started).Seconds()
+	}
+	for id, j := range s.running {
+		snap.Running = append(snap.Running, RunningJob{
+			ID:       id,
+			Attempt:  j.attempt,
+			RunningS: now.Sub(j.since).Seconds(),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(snap.Running, func(i, j int) bool { return snap.Running[i].ID < snap.Running[j].ID })
+	if snap.ElapsedS > 0 && snap.Done > 0 {
+		snap.JobsPerSec = float64(snap.Done) / snap.ElapsedS
+		remaining := snap.Total - snap.Skipped - snap.Done
+		if remaining > 0 {
+			snap.ETAS = float64(remaining) / snap.JobsPerSec
+		}
+	}
+	return snap
+}

@@ -1,0 +1,93 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestStatusTracksSweep scrapes the status board concurrently with a
+// running sweep (data-race coverage under -race) and checks the final
+// tallies against the engine summary.
+func TestStatusTracksSweep(t *testing.T) {
+	var jobs []Job
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("job%02d", i)
+		fail := i == 3 // fails once, succeeds on retry
+		first := true
+		var mu sync.Mutex
+		jobs = append(jobs, Job{ID: id, Run: func(seed int64) (map[string]float64, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			if fail && first {
+				first = false
+				return nil, errors.New("transient")
+			}
+			return map[string]float64{"v": float64(seed)}, nil
+		}})
+	}
+	st := NewStatus()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			snap := st.Snapshot()
+			if snap.Done > snap.Total {
+				t.Errorf("done %d > total %d", snap.Done, snap.Total)
+				return
+			}
+			for i := 1; i < len(snap.Running); i++ {
+				if snap.Running[i].ID < snap.Running[i-1].ID {
+					t.Errorf("running list unsorted: %v", snap.Running)
+					return
+				}
+			}
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+	sum, err := Run(Config{Workers: 4, Retries: 1, Status: st}, jobs, nil)
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	if snap.Total != 20 || snap.Done != 20 || snap.Failed != 0 {
+		t.Errorf("snapshot %+v", snap)
+	}
+	if snap.Retried != sum.Retried || snap.Panics != sum.Panics {
+		t.Errorf("snapshot retries/panics %d/%d, summary %d/%d",
+			snap.Retried, snap.Panics, sum.Retried, sum.Panics)
+	}
+	if len(snap.Running) != 0 {
+		t.Errorf("jobs still running after drain: %v", snap.Running)
+	}
+	if snap.JobsPerSec <= 0 || snap.ETAS != 0 {
+		t.Errorf("rate %g, eta %g", snap.JobsPerSec, snap.ETAS)
+	}
+}
+
+// TestStatusSkippedAndETA pins the resume arithmetic: skipped jobs count
+// toward neither done nor the ETA denominator.
+func TestStatusSkippedAndETA(t *testing.T) {
+	st := NewStatus()
+	st.begin(10, 4)
+	for i := 0; i < 3; i++ {
+		st.jobStarted(fmt.Sprintf("j%d", i))
+		st.jobFinished(Result{JobID: fmt.Sprintf("j%d", i)})
+	}
+	snap := st.Snapshot()
+	if snap.Total != 10 || snap.Skipped != 4 || snap.Done != 3 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if snap.ETAS <= 0 {
+		t.Errorf("with 3 jobs left, ETA must be positive: %+v", snap)
+	}
+}

@@ -61,6 +61,10 @@ type Config struct {
 	Progress io.Writer
 	// ProgressEvery is the reporting period; <= 0 means 2s.
 	ProgressEvery time.Duration
+	// Status, when non-nil, is kept current with live job states for the
+	// telemetry server's /progress endpoint. Purely observational: it
+	// changes no scheduling, seeding or output.
+	Status *Status
 }
 
 // Result is the outcome of one job. Its JSON encoding is deterministic
@@ -140,6 +144,9 @@ func Run(cfg Config, jobs []Job, sink Sink) (Summary, error) {
 		pending = append(pending, i)
 	}
 	sum := Summary{Total: len(jobs), Skipped: len(jobs) - len(pending)}
+	if cfg.Status != nil {
+		cfg.Status.begin(len(jobs), sum.Skipped)
+	}
 
 	var aborted atomic.Bool
 	work := make(chan int)
@@ -152,6 +159,9 @@ func Run(cfg Config, jobs []Job, sink Sink) (Summary, error) {
 			for i := range work {
 				if aborted.Load() {
 					continue
+				}
+				if cfg.Status != nil {
+					cfg.Status.jobStarted(jobs[i].ID)
 				}
 				results <- execute(cfg, jobs[i], i)
 			}
@@ -177,6 +187,9 @@ func Run(cfg Config, jobs []Job, sink Sink) (Summary, error) {
 		}
 		sum.Retried += r.Retries
 		sum.Panics += r.Panics
+		if cfg.Status != nil {
+			cfg.Status.jobFinished(r)
+		}
 		prog.observe(r.Err != "")
 		if sink != nil && sinkErr == nil {
 			if err := sink.Write(r); err != nil {
@@ -203,6 +216,9 @@ func execute(cfg Config, job Job, index int) Result {
 	for attempt := 1; attempt <= cfg.Retries+1; attempt++ {
 		res.Attempts = attempt
 		res.Retries = attempt - 1
+		if cfg.Status != nil && attempt > 1 {
+			cfg.Status.jobAttempt(job.ID, attempt)
+		}
 		m, err := runAttempt(job, res.Seed, cfg.Timeout)
 		if err == nil {
 			res.Metrics = m

@@ -13,13 +13,35 @@ import (
 // is off, so unobserved runs are untouched. TIMELY never touches the CNP
 // counters — they exist so DCQCN and TIMELY runs export the same schema.
 
-// bindObs registers the endpoint's counters under "timely.n<hostID>".
+// bindObs registers the endpoint's counters under "timely.n<hostID>" and
+// its latency histograms under the protocol-wide names "timely.rtt_s" and
+// "timely.pace_gap_s" (all senders on a run feed one distribution, as the
+// paper's per-protocol behaviour plots do).
 func (e *Endpoint) bindObs() {
 	o := e.host.Net().Observer()
-	if o == nil || o.Metrics == nil {
+	if o == nil {
 		return
 	}
-	e.ctr = o.Metrics.EndpointCounters(fmt.Sprintf("timely.n%d", e.host.ID()))
+	if o.Metrics != nil {
+		e.ctr = o.Metrics.EndpointCounters(fmt.Sprintf("timely.n%d", e.host.ID()))
+	}
+	e.rttH = o.Hist("timely.rtt_s")
+	e.paceGapH = o.Hist("timely.pace_gap_s")
+}
+
+// obsPace records the gap since this sender's previous data emission into
+// the pacing-gap histogram; a single nil check when observability is off.
+func (s *Sender) obsPace() {
+	h := s.e.paceGapH
+	if h == nil {
+		return
+	}
+	now := s.e.host.Now()
+	if s.obsSent {
+		h.Record(now.Sub(s.obsLastSend).Seconds())
+	}
+	s.obsSent = true
+	s.obsLastSend = now
 }
 
 // obsRetx records one retransmitted packet (counters plus a trace record).

@@ -156,6 +156,11 @@ type Endpoint struct {
 	// ctr is the endpoint's bound counter set; nil when the network has no
 	// observer (or no metrics registry) attached.
 	ctr *obs.EndpointCounters
+	// rttH/paceGapH are the endpoint's latency histograms (per-flow RTT
+	// samples, pacing gaps between data emissions); nil when the network
+	// has no observer (or no HistSet) attached.
+	rttH     *obs.Hist
+	paceGapH *obs.Hist
 }
 
 // NewEndpoint attaches a TIMELY engine to h.
@@ -268,6 +273,12 @@ type Sender struct {
 
 	// RateHook, if non-nil, observes every rate change.
 	RateHook func(t des.Time, rate float64)
+
+	// Histogram state: previous data-send instant, so the pacing-gap
+	// histogram records inter-emission spacing. Only maintained when the
+	// pacing histogram is bound.
+	obsLastSend des.Time
+	obsSent     bool
 }
 
 // Handler arguments: the sender is its own des.Handler, dispatching the
@@ -408,6 +419,7 @@ func (s *Sender) sendNextPacket() {
 	// before handing it over.
 	size, last := pkt.Size, pkt.Last
 	s.e.host.Send(pkt)
+	s.obsPace()
 	if s.e.p.Recovery {
 		s.armRTO()
 	}
@@ -436,6 +448,7 @@ func (s *Sender) sendBurst() {
 		}
 		size, last, ackReq := pkt.Size, pkt.Last, pkt.AckReq
 		s.e.host.Send(pkt)
+		s.obsPace()
 		burstBytes += int64(size)
 		if last {
 			ended = true
@@ -472,6 +485,12 @@ func (s *Sender) onAck(pkt *netsim.Packet) {
 	}
 	now := s.e.host.Now()
 	newRTT := now.Sub(pkt.EchoT)
+	if h := s.e.rttH; h != nil {
+		// Every completion-event RTT sample lands in the distribution,
+		// including the ones the MinRTT gate below keeps away from the
+		// rate computation — the spread is what the paper plots.
+		h.Record(newRTT.Seconds())
+	}
 	if s.haveRTT && now.Sub(s.lastUpdate) < s.e.p.MinRTT {
 		return
 	}
