@@ -140,6 +140,20 @@ func BenchmarkFaultLossFCT(b *testing.B) { benchRunner(b, "faultloss") }
 // CNP-loss experiment.
 func BenchmarkFaultCNPLoss(b *testing.B) { benchRunner(b, "faultcnp") }
 
+// ---- Fabric extensions (Clos topologies, internal/topo) ----
+
+// BenchmarkClosIncast regenerates the incast fan-in sweep on the 3-tier
+// fat tree (FCT and PFC pause time vs fan-in).
+func BenchmarkClosIncast(b *testing.B) { benchRunner(b, "closincast") }
+
+// BenchmarkClosShuffle regenerates the all-to-all shuffle on the
+// leaf-spine fabric (completion, fairness, ECMP balance).
+func BenchmarkClosShuffle(b *testing.B) { benchRunner(b, "closshuffle") }
+
+// BenchmarkClosLoad regenerates the streaming Poisson churn run on the
+// 3-tier Clos (lazy arrival generation).
+func BenchmarkClosLoad(b *testing.B) { benchRunner(b, "closload") }
+
 // ---- Ablations (design choices called out in DESIGN.md) ----
 
 // BenchmarkAblationMarkingPoint contrasts egress and ingress ECN marking
@@ -336,6 +350,7 @@ func TestEveryExperimentHasABenchmark(t *testing.T) {
 		"fig18": true, "fig19": true, "fig20": true, "thm6": true, "fig21": true,
 		"extmultihop": true, "extpfc": true, "extpi": true,
 		"faultloss": true, "faultcnp": true,
+		"closincast": true, "closshuffle": true, "closload": true,
 	}
 	for _, r := range ecndelay.Runners() {
 		if !covered[r.ID] {

@@ -39,6 +39,11 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		proto      = flag.String("proto", "dcqcn", "dcqcn | timely | patched")
+		topology   = flag.String("topology", "star", "star | dumbbell | parkinglot | clos")
+		radix      = flag.Int("radix", 4, "clos: switch radix k (even; k**3/4 hosts at 3 tiers)")
+		tiers      = flag.Int("tiers", 3, "clos: fabric depth, 2 (leaf-spine) or 3 (fat tree)")
+		oversub    = flag.Float64("oversub", 1, "clos: leaf oversubscription ratio (>= 1)")
+		hops       = flag.Int("hops", 3, "parkinglot: switches in the chain")
 		n          = flag.Int("n", 2, "number of senders (one long flow each)")
 		bw         = flag.Float64("bw", 10e9, "link bandwidth, bits/s")
 		extraDelay = flag.Float64("extra-delay", 0, "extra feedback delay, seconds")
@@ -118,15 +123,79 @@ func main() {
 			return &ecndelay.REDMarker{Kmin: 5000, Kmax: 200000, Pmax: 0.01, Ingress: *ingress, Rng: nw.Rng}
 		}
 	}
-	star := ecndelay.NewStar(nw, ecndelay.StarConfig{
-		Senders:        *n,
-		Link:           ecndelay.LinkConfig{Bandwidth: bwBytes, PropDelay: ecndelay.Microsecond},
-		Mark:           mark,
-		CtrlExtraDelay: ecndelay.DurationFromSeconds(*extraDelay),
-		CtrlJitterMax:  ecndelay.DurationFromSeconds(*jitter),
-		PFC:            ecndelay.PFCConfig{PauseBytes: *pfcPause, ResumeBytes: *pfcResume},
-		SwitchQueueCap: *qcap,
-	})
+	// fab abstracts the wired topology down to what the flow/fault/output
+	// machinery needs: who sends, who receives, which port is the
+	// bottleneck the TSV tracks, and which switches exist (watchdog,
+	// buffer-drop accounting). The default star build is unchanged, so
+	// default invocations stay byte-identical.
+	link := ecndelay.LinkConfig{Bandwidth: bwBytes, PropDelay: ecndelay.Microsecond}
+	pfc := ecndelay.PFCConfig{PauseBytes: *pfcPause, ResumeBytes: *pfcResume}
+	var fab fabric
+	switch *topology {
+	case "star":
+		star := ecndelay.NewStar(nw, ecndelay.StarConfig{
+			Senders:        *n,
+			Link:           link,
+			Mark:           mark,
+			CtrlExtraDelay: ecndelay.DurationFromSeconds(*extraDelay),
+			CtrlJitterMax:  ecndelay.DurationFromSeconds(*jitter),
+			PFC:            pfc,
+			SwitchQueueCap: *qcap,
+		})
+		fab = fabric{star.Senders, star.Receiver, star.Bottleneck,
+			[]*ecndelay.Switch{star.Switch}}
+	case "dumbbell":
+		requireStarOnly(*topology, *extraDelay != 0, "-extra-delay")
+		d := ecndelay.NewDumbbell(nw, ecndelay.DumbbellConfig{
+			Senders: *n, Receivers: 1,
+			Link:           link,
+			Mark:           mark,
+			CtrlJitterMax:  ecndelay.DurationFromSeconds(*jitter),
+			PFC:            pfc,
+			SwitchQueueCap: *qcap,
+		})
+		fab = fabric{d.Senders, d.Receivers[0], d.Bottleneck,
+			[]*ecndelay.Switch{d.SW1, d.SW2}}
+	case "parkinglot":
+		requireStarOnly(*topology, *extraDelay != 0, "-extra-delay")
+		requireStarOnly(*topology, *jitter != 0, "-jitter")
+		requireStarOnly(*topology, *qcap != 0, "-qcap")
+		if *n > *hops {
+			log.Fatalf("-topology parkinglot has one sender per switch: -n %d needs -hops >= %d", *n, *n)
+		}
+		pl := ecndelay.NewParkingLot(nw, ecndelay.ParkingLotConfig{
+			Hops: *hops, Link: link, Mark: mark, PFC: pfc,
+		})
+		// Every flow converges on the last switch's receiver, so the final
+		// trunk is the shared bottleneck the long flow crosses end to end.
+		fab = fabric{pl.Senders[:*n], pl.Recvs[*hops-1],
+			pl.Trunks[len(pl.Trunks)-1], pl.Switches}
+	case "clos":
+		requireStarOnly(*topology, *extraDelay != 0, "-extra-delay")
+		requireStarOnly(*topology, *jitter != 0, "-jitter")
+		cl, err := ecndelay.NewClos(nw, ecndelay.ClosConfig{
+			Radix: *radix, Tiers: *tiers, Oversub: *oversub,
+			HostLink:       link,
+			Mark:           mark,
+			PFC:            pfc,
+			SwitchQueueCap: *qcap,
+			ECMPSeed:       *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		last := len(cl.Hosts) - 1
+		if *n >= len(cl.Hosts) {
+			log.Fatalf("-topology clos (radix %d, tiers %d) has %d hosts; -n %d leaves no receiver",
+				*radix, *tiers, len(cl.Hosts), *n)
+		}
+		// Senders are the first n hosts, the aggregator is the last host —
+		// in another pod, so the incast crosses the ECMP core — and its
+		// leaf→host port is the bottleneck the TSV tracks.
+		fab = fabric{cl.Hosts[:*n], cl.Hosts[last], cl.HostPorts[last], cl.Switches()}
+	default:
+		log.Fatalf("unknown -topology %q", *topology)
+	}
 
 	var startRates []float64
 	if *rates != "" {
@@ -156,15 +225,15 @@ func main() {
 		p := ecndelay.DefaultDCQCNProtoParams()
 		p.Recovery = *recovery
 		p.RTO = ecndelay.DurationFromSeconds(*rto)
-		if _, err := ecndelay.NewDCQCNEndpoint(star.Receiver, p); err != nil {
+		if _, err := ecndelay.NewDCQCNEndpoint(fab.receiver, p); err != nil {
 			log.Fatal(err)
 		}
-		for i, h := range star.Senders {
+		for i, h := range fab.senders {
 			ep, err := ecndelay.NewDCQCNEndpoint(h, p)
 			if err != nil {
 				log.Fatal(err)
 			}
-			s, err := ep.NewFlow(i, star.Receiver.ID(), -1, 0)
+			s, err := ep.NewFlow(i, fab.receiver.ID(), -1, 0)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -183,10 +252,10 @@ func main() {
 		}
 		p.Recovery = *recovery
 		p.RTO = ecndelay.DurationFromSeconds(*rto)
-		if _, err := ecndelay.NewTimelyEndpoint(star.Receiver, p); err != nil {
+		if _, err := ecndelay.NewTimelyEndpoint(fab.receiver, p); err != nil {
 			log.Fatal(err)
 		}
-		for i, h := range star.Senders {
+		for i, h := range fab.senders {
 			ep, err := ecndelay.NewTimelyEndpoint(h, p)
 			if err != nil {
 				log.Fatal(err)
@@ -195,7 +264,7 @@ func main() {
 			if startRates != nil {
 				sr = startRates[i]
 			}
-			s, err := ep.NewFlow(i, star.Receiver.ID(), -1, 0, sr)
+			s, err := ep.NewFlow(i, fab.receiver.ID(), -1, 0, sr)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -211,7 +280,7 @@ func main() {
 	// Assemble the fault plan: data loss and flaps on the bottleneck,
 	// control loss on the receiver's NIC (where acks/NACKs/CNPs originate).
 	plan := &ecndelay.FaultPlan{Seed: *faultSeed}
-	bn := ecndelay.LinkFaults{Port: star.Bottleneck}
+	bn := ecndelay.LinkFaults{Port: fab.bottleneck}
 	if *lossRate > 0 {
 		bn.Loss = append(bn.Loss, ecndelay.Loss{Kinds: ecndelay.SelData, Rate: *lossRate})
 	}
@@ -235,7 +304,7 @@ func main() {
 	}
 	if *ctrlLoss > 0 {
 		plan.Links = append(plan.Links, ecndelay.LinkFaults{
-			Port: star.Receiver.Port(),
+			Port: fab.receiver.Port(),
 			Loss: []ecndelay.Loss{{Kinds: ecndelay.SelCtrl, Rate: *ctrlLoss}},
 		})
 	}
@@ -246,16 +315,18 @@ func main() {
 	var wd *ecndelay.PFCWatchdog
 	if *pfcWatch > 0 {
 		wd = ecndelay.NewPFCWatchdog(nw, ecndelay.DurationFromSeconds(*pfcWatch))
-		wd.WatchSwitch(star.Switch)
-		for _, h := range star.Senders {
+		for _, sw := range fab.switches {
+			wd.WatchSwitch(sw)
+		}
+		for _, h := range fab.senders {
 			wd.WatchHost(h)
 		}
-		wd.WatchHost(star.Receiver)
+		wd.WatchHost(fab.receiver)
 	}
 
 	if observer != nil && observer.Probes != nil {
 		every := observer.ProbeCadence()
-		q := star.Bottleneck.Queue()
+		q := fab.bottleneck.Queue()
 		observer.Probes.NewProbe("queue_bytes", 0).Drive(nw.Sim, every, func() float64 {
 			return float64(q.Bytes())
 		})
@@ -300,7 +371,7 @@ func main() {
 	fmt.Fprintln(out)
 	nw.Sim.Every(0, ecndelay.DurationFromSeconds(*sample), func() {
 		simNow.Store(math.Float64bits(nw.Sim.Now().Seconds()))
-		fmt.Fprintf(out, "%.6f\t%d", nw.Sim.Now().Seconds(), star.Bottleneck.Queue().Bytes())
+		fmt.Fprintf(out, "%.6f\t%d", nw.Sim.Now().Seconds(), fab.bottleneck.Queue().Bytes())
 		for i := 0; i < *n; i++ {
 			fmt.Fprintf(out, "\t%.6g", rate[i]())
 		}
@@ -317,10 +388,12 @@ func main() {
 			retxSum += retx[i]()
 		}
 		var bufDrops int64
-		for _, p := range star.Switch.Ports() {
-			bufDrops += p.Queue().Drops()
+		for _, sw := range fab.switches {
+			for _, p := range sw.Ports() {
+				bufDrops += p.Queue().Drops()
+			}
 		}
-		wireDrops := star.Bottleneck.WireDrops() + star.Receiver.Port().WireDrops()
+		wireDrops := fab.bottleneck.WireDrops() + fab.receiver.Port().WireDrops()
 		fmt.Fprintf(out, "# faults: injected_drops=%d wire_drops=%d buffer_drops=%d retx_bytes=%d",
 			injectedDrops(applied), wireDrops, bufDrops, retxSum)
 		if wd != nil {
@@ -370,6 +443,24 @@ func main() {
 				log.Fatalf("%d invariant violation(s)", c.Total())
 			}
 		}
+	}
+}
+
+// fabric is the topology-independent view the rest of main drives: long
+// flows go senders → receiver, the bottleneck port's queue is the TSV
+// series, and switches carry the watchdog and drop accounting.
+type fabric struct {
+	senders    []*ecndelay.Host
+	receiver   *ecndelay.Host
+	bottleneck *ecndelay.Port
+	switches   []*ecndelay.Switch
+}
+
+// requireStarOnly rejects flags the selected topology's builder has no hook
+// for, instead of silently ignoring them.
+func requireStarOnly(topology string, set bool, flagName string) {
+	if set {
+		log.Fatalf("%s is not supported with -topology %s", flagName, topology)
 	}
 }
 

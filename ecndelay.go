@@ -57,6 +57,7 @@ import (
 	"ecndelay/internal/stats"
 	"ecndelay/internal/sweep"
 	"ecndelay/internal/timely"
+	"ecndelay/internal/topo"
 	"ecndelay/internal/workload"
 )
 
@@ -258,6 +259,15 @@ type (
 	Dumbbell = netsim.Dumbbell
 	// DumbbellConfig parameterises it.
 	DumbbellConfig = netsim.DumbbellConfig
+	// ParkingLot is the §7 multi-bottleneck chain.
+	ParkingLot = netsim.ParkingLot
+	// ParkingLotConfig parameterises it.
+	ParkingLotConfig = netsim.ParkingLotConfig
+	// Clos is a wired datacenter fabric (leaf-spine or 3-tier fat tree)
+	// with seeded flow-consistent ECMP across the equal-cost up paths.
+	Clos = topo.Clos
+	// ClosConfig parameterises NewClos.
+	ClosConfig = topo.ClosConfig
 	// LinkConfig describes one direction of a link.
 	LinkConfig = netsim.LinkConfig
 
@@ -287,6 +297,16 @@ func NewStar(nw *Network, cfg StarConfig) *Star { return netsim.NewStar(nw, cfg)
 
 // NewDumbbell wires the Figure 13 topology.
 func NewDumbbell(nw *Network, cfg DumbbellConfig) *Dumbbell { return netsim.NewDumbbell(nw, cfg) }
+
+// NewParkingLot wires the §7 multi-bottleneck chain.
+func NewParkingLot(nw *Network, cfg ParkingLotConfig) *ParkingLot {
+	return netsim.NewParkingLot(nw, cfg)
+}
+
+// NewClos generates a deterministic Clos fabric (2-tier leaf-spine or
+// 3-tier k-ary fat tree) on nw: pinned down routes, ECMP up routes, per-
+// switch hash salts derived from cfg.ECMPSeed.
+func NewClos(nw *Network, cfg ClosConfig) (*Clos, error) { return topo.NewClos(nw, cfg) }
 
 // DefaultDCQCNProtoParams returns the [31] protocol defaults.
 func DefaultDCQCNProtoParams() DCQCNProtoParams { return dcqcn.DefaultParams() }
@@ -380,6 +400,15 @@ type (
 	Flow = workload.Flow
 	// WorkloadConfig drives traffic generation.
 	WorkloadConfig = workload.Config
+	// PoissonStream yields the Generate sequence lazily, one flow per
+	// Next call, so churn length costs simulated time rather than memory.
+	PoissonStream = workload.PoissonStream
+	// IncastConfig drives GenerateIncast.
+	IncastConfig = workload.IncastConfig
+	// ShuffleConfig drives GenerateShuffle.
+	ShuffleConfig = workload.ShuffleConfig
+	// BurstConfig drives GenerateStorageBursts.
+	BurstConfig = workload.BurstConfig
 	// Series is a scalar time series.
 	Series = stats.Series
 	// Summary holds moments and extremes of a sample.
@@ -393,6 +422,21 @@ func WebSearchSizes() *FlowSizeDist { return workload.WebSearch() }
 
 // GenerateWorkload produces a Poisson flow arrival sequence.
 func GenerateWorkload(cfg WorkloadConfig) ([]Flow, error) { return workload.Generate(cfg) }
+
+// NewPoissonStream validates cfg and returns the lazy arrival generator
+// behind GenerateWorkload.
+func NewPoissonStream(cfg WorkloadConfig) (*PoissonStream, error) {
+	return workload.NewPoissonStream(cfg)
+}
+
+// GenerateIncast produces the N-to-1 partition-aggregate pattern.
+func GenerateIncast(cfg IncastConfig) ([]Flow, error) { return workload.Incast(cfg) }
+
+// GenerateShuffle produces the all-to-all exchange.
+func GenerateShuffle(cfg ShuffleConfig) ([]Flow, error) { return workload.Shuffle(cfg) }
+
+// GenerateStorageBursts produces Poisson replicated-write bursts.
+func GenerateStorageBursts(cfg BurstConfig) ([]Flow, error) { return workload.StorageBursts(cfg) }
 
 // Percentile returns the p-th percentile of xs.
 func Percentile(xs []float64, p float64) (float64, error) { return stats.Percentile(xs, p) }

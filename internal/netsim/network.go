@@ -274,6 +274,7 @@ func (p *Port) OnEvent(arg any) {
 		p.net.FreePacket(pkt)
 		return
 	}
+	pkt.prevHop = p.owner.ID()
 	p.peer.Receive(pkt)
 }
 

@@ -74,6 +74,12 @@ type Packet struct {
 	EnqT   des.Time // stamped at each egress-queue Push (per-hop delay histograms)
 
 	ingress int // switch-internal: ingress port index while buffered
+	// prevHop is the node that transmitted the packet on its most recent
+	// hop, stamped by the delivering port just before Receive. Switches on
+	// multipath (ECMP) fabrics use it to attribute PFC accounting to the
+	// true upstream when the source's reverse route is an ECMP group
+	// rather than a single port.
+	prevHop int
 
 	// inPool marks a packet currently sitting in the free list, letting the
 	// observability layer detect double frees. Always false on a packet

@@ -1,0 +1,243 @@
+package topo
+
+import (
+	"fmt"
+	"testing"
+
+	"ecndelay/internal/des"
+	"ecndelay/internal/netsim"
+	"ecndelay/internal/obs"
+)
+
+func testLink() netsim.LinkConfig {
+	return netsim.LinkConfig{Bandwidth: 1.25e9, PropDelay: des.Microsecond}
+}
+
+func TestClosConfigValidate(t *testing.T) {
+	bad := []ClosConfig{
+		{Radix: 3, Tiers: 2, HostLink: testLink()},               // odd radix
+		{Radix: 0, Tiers: 2, HostLink: testLink()},               // no radix
+		{Radix: 4, Tiers: 4, HostLink: testLink()},               // unsupported depth
+		{Radix: 2, Tiers: 3, HostLink: testLink()},               // fat tree too small
+		{Radix: 4, Tiers: 2},                                     // no bandwidth
+		{Radix: 4, Tiers: 2, Oversub: 0.5, HostLink: testLink()}, // undersub
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d validated despite being invalid: %+v", i, cfg)
+		}
+	}
+	good := ClosConfig{Radix: 4, Tiers: 3, Oversub: 2, HostLink: testLink()}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// The standard k-ary counts: hosts, switches per tier, uplinks per leaf.
+func TestClosShape(t *testing.T) {
+	cases := []struct {
+		radix, tiers                       int
+		hosts, leaves, aggs, spines, upPer int
+	}{
+		{4, 2, 8, 4, 0, 2, 2},
+		{6, 2, 18, 6, 0, 3, 3},
+		{4, 3, 16, 8, 8, 4, 2},
+		{6, 3, 54, 18, 18, 9, 3},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("k%d_t%d", c.radix, c.tiers), func(t *testing.T) {
+			nw := netsim.New(1)
+			cl, err := NewClos(nw, ClosConfig{Radix: c.radix, Tiers: c.tiers, HostLink: testLink()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := cl.Cfg.Hosts(); got != c.hosts {
+				t.Errorf("Hosts() = %d, want %d", got, c.hosts)
+			}
+			if len(cl.Hosts) != c.hosts {
+				t.Errorf("built %d hosts, want %d", len(cl.Hosts), c.hosts)
+			}
+			if len(cl.HostPorts) != c.hosts {
+				t.Errorf("%d host ports, want %d", len(cl.HostPorts), c.hosts)
+			}
+			if len(cl.Leaves) != c.leaves || len(cl.Aggs) != c.aggs || len(cl.Spines) != c.spines {
+				t.Errorf("tiers %d/%d/%d, want %d/%d/%d",
+					len(cl.Leaves), len(cl.Aggs), len(cl.Spines), c.leaves, c.aggs, c.spines)
+			}
+			for l, ups := range cl.LeafUplinks {
+				if len(ups) != c.upPer {
+					t.Errorf("leaf %d has %d uplinks, want %d", l, len(ups), c.upPer)
+				}
+			}
+			if want := c.leaves + c.aggs + c.spines; len(cl.Switches()) != want {
+				t.Errorf("Switches() = %d, want %d", len(cl.Switches()), want)
+			}
+		})
+	}
+}
+
+// Oversubscription scales only the leaf uplinks; host links and (3-tier)
+// agg↔spine links keep their configured speed.
+func TestClosOversubscription(t *testing.T) {
+	nw := netsim.New(1)
+	cl, err := NewClos(nw, ClosConfig{Radix: 4, Tiers: 3, Oversub: 4, HostLink: testLink()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testLink().Bandwidth / 4
+	for l, ups := range cl.LeafUplinks {
+		for _, p := range ups {
+			if p.Bandwidth != want {
+				t.Errorf("leaf %d uplink bandwidth %g, want %g", l, p.Bandwidth, want)
+			}
+		}
+	}
+	for h, p := range cl.HostPorts {
+		if p.Bandwidth != testLink().Bandwidth {
+			t.Errorf("host %d link bandwidth %g, want full rate", h, p.Bandwidth)
+		}
+	}
+	// Agg → spine ports run at full fabric rate: every agg port beyond the
+	// k/2 leaf-facing ones is an uplink.
+	for a, agg := range cl.Aggs {
+		for i := 2; i < 4; i++ {
+			if agg.Port(i).Bandwidth != testLink().Bandwidth {
+				t.Errorf("agg %d port %d bandwidth %g, want full rate", a, i, agg.Port(i).Bandwidth)
+			}
+		}
+	}
+}
+
+// Every ordered host pair can exchange a packet — all routes resolve and
+// all bytes arrive, on both supported depths, with PFC on.
+func TestClosAllPairsConnectivity(t *testing.T) {
+	for _, tiers := range []int{2, 3} {
+		t.Run(fmt.Sprintf("tiers%d", tiers), func(t *testing.T) {
+			nw := netsim.New(1)
+			cl, err := NewClos(nw, ClosConfig{
+				Radix: 4, Tiers: tiers, HostLink: testLink(),
+				PFC: netsim.PFCConfig{PauseBytes: 100e3, ResumeBytes: 50e3},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make(map[int]int) // receiving host id → packets
+			for _, h := range cl.Hosts {
+				id := h.ID()
+				h.Transport = netsim.TransportFunc(func(_ *netsim.Host, pkt *netsim.Packet) {
+					got[id]++
+				})
+			}
+			sent := 0
+			for i, src := range cl.Hosts {
+				for j, dst := range cl.Hosts {
+					if i == j {
+						continue
+					}
+					src.Send(&netsim.Packet{
+						Flow: i*len(cl.Hosts) + j, Dst: dst.ID(),
+						Size: netsim.DataMTU, Kind: netsim.Data,
+					})
+					sent++
+				}
+			}
+			nw.Sim.Run()
+			total := 0
+			for _, n := range got {
+				total += n
+			}
+			if total != sent {
+				t.Errorf("delivered %d of %d packets", total, sent)
+			}
+			for _, h := range cl.Hosts {
+				if got[h.ID()] != len(cl.Hosts)-1 {
+					t.Errorf("host %d received %d, want %d", h.ID(), got[h.ID()], len(cl.Hosts)-1)
+				}
+			}
+		})
+	}
+}
+
+// Distinct flows between the same host pair spread across the leaf's
+// equal-cost uplinks, and the spread is identical when the same fabric is
+// built twice (seeded hashing, deterministic wiring).
+func TestClosECMPSpreadAndDeterminism(t *testing.T) {
+	build := func() (*netsim.Network, *Clos) {
+		nw := netsim.New(1)
+		cl, err := NewClos(nw, ClosConfig{Radix: 4, Tiers: 3, HostLink: testLink(), ECMPSeed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw, cl
+	}
+	run := func() (perUplink []int64) {
+		nw, cl := build()
+		src, dst := cl.Hosts[0], cl.Hosts[len(cl.Hosts)-1]
+		for flow := 0; flow < 64; flow++ {
+			for p := 0; p < 4; p++ {
+				src.Send(&netsim.Packet{Flow: flow, Dst: dst.ID(), Size: netsim.DataMTU, Kind: netsim.Data})
+			}
+		}
+		nw.Sim.Run()
+		for _, p := range cl.LeafUplinks[0] {
+			perUplink = append(perUplink, p.TxBytes)
+		}
+		return perUplink
+	}
+	a := run()
+	b := run()
+	var used, total int64
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("uplink %d carried %d then %d bytes across identical builds", i, a[i], b[i])
+		}
+		if a[i] > 0 {
+			used++
+		}
+		total += a[i]
+	}
+	if used < 2 {
+		t.Errorf("64 flows used %d of %d equal-cost uplinks", used, len(a))
+	}
+	if total != 64*4*netsim.DataMTU {
+		t.Errorf("uplinks carried %d bytes, want %d", total, int64(64*4*netsim.DataMTU))
+	}
+}
+
+// An incast at one host port under PFC keeps every invariant the checker
+// knows: byte conservation through every fabric queue, pause/resume
+// pairing up the tiers, pool discipline.
+func TestClosIncastInvariantsClean(t *testing.T) {
+	o := obs.Full()
+	nw := netsim.New(1)
+	nw.SetObserver(o)
+	cl, err := NewClos(nw, ClosConfig{
+		Radix: 4, Tiers: 3, HostLink: testLink(),
+		PFC: netsim.PFCConfig{PauseBytes: 20e3, ResumeBytes: 10e3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := cl.Hosts[len(cl.Hosts)-1]
+	var got int64
+	rx.Transport = netsim.TransportFunc(func(_ *netsim.Host, pkt *netsim.Packet) { got += int64(pkt.Size) })
+	const per = 100
+	var sent int64
+	for i := 0; i < 8; i++ {
+		for j := 0; j < per; j++ {
+			cl.Hosts[i].Send(&netsim.Packet{Flow: i, Dst: rx.ID(), Size: netsim.DataMTU, Kind: netsim.Data})
+			sent += netsim.DataMTU
+		}
+	}
+	nw.Sim.Run()
+	if got != sent {
+		t.Errorf("delivered %d of %d incast bytes", got, sent)
+	}
+	if o.Trace.Count(obs.Pause) == 0 {
+		t.Error("an 8:1 incast at a 20 KB PFC threshold never paused")
+	}
+	o.Check.Finish(nw.Sim.Now())
+	if err := o.Check.Err(); err != nil {
+		t.Errorf("invariants violated on the incast fabric: %v", err)
+	}
+}

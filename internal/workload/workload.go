@@ -11,6 +11,7 @@ package workload
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -110,11 +111,18 @@ type Flow struct {
 	Recv   int     // index into the receiver set
 }
 
-// Config drives Generate.
+// Config drives Generate and NewPoissonStream.
 type Config struct {
 	// Load is the target average offered load on the bottleneck in
 	// bytes/second (the paper's load factor 1.0 = 8 Gb/s = 1e9 B/s).
 	Load float64
+	// Capacity, when positive, is the bottleneck link capacity in
+	// bytes/second, and generation refuses a Load above it: an offered load
+	// past capacity has no steady state — queues grow without bound and FCT
+	// statistics measure the horizon, not the protocol. Zero skips the check
+	// (the overload regime is still reachable deliberately, e.g. the golden
+	// trajectories drive LoadFactor 1.5 to exercise saturation).
+	Capacity float64
 	// Sizes is the flow-size distribution.
 	Sizes *Empirical
 	// Senders and Receivers are the pool sizes to pair from.
@@ -125,38 +133,81 @@ type Config struct {
 	Seed int64
 }
 
-// Generate produces a Poisson flow arrival sequence: exponential
-// inter-arrival times with rate Load/mean(Sizes), each flow between a
-// uniformly random sender/receiver pair.
-func Generate(cfg Config) ([]Flow, error) {
+func (cfg Config) validate() error {
 	switch {
 	case cfg.Load <= 0:
-		return nil, errors.New("workload: Load must be positive")
+		return errors.New("workload: Load must be positive")
+	case cfg.Capacity > 0 && cfg.Load > cfg.Capacity:
+		return fmt.Errorf("workload: offered load %.3g B/s exceeds bottleneck capacity %.3g B/s (load factor %.2f); the queue has no steady state — lower Load or raise Capacity",
+			cfg.Load, cfg.Capacity, cfg.Load/cfg.Capacity)
 	case cfg.Sizes == nil:
-		return nil, errors.New("workload: nil size distribution")
+		return errors.New("workload: nil size distribution")
 	case cfg.Senders <= 0 || cfg.Receivers <= 0:
-		return nil, errors.New("workload: need senders and receivers")
+		return errors.New("workload: need senders and receivers")
 	case cfg.Horizon <= 0:
-		return nil, errors.New("workload: Horizon must be positive")
+		return errors.New("workload: Horizon must be positive")
+	}
+	return nil
+}
+
+// PoissonStream generates the same Poisson arrival sequence as Generate,
+// one flow at a time: million-flow churn experiments pull flows lazily as
+// simulated time advances instead of materialising the whole slice, so
+// memory stays bounded by the flows in flight, not the flows in the
+// horizon. Draw order per flow is identical to Generate's (inter-arrival,
+// size, sender, receiver), so draining a stream reproduces Generate
+// bit-for-bit from the same rng state.
+type PoissonStream struct {
+	cfg    Config
+	lambda float64 // flows per second
+	t      float64
+	id     int
+}
+
+// NewPoissonStream validates cfg and positions the stream at time zero.
+// The caller owns the rng passed to Next; use rand.New(rand.NewSource(
+// cfg.Seed)) for the canonical sequence.
+func NewPoissonStream(cfg Config) (*PoissonStream, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &PoissonStream{cfg: cfg, lambda: cfg.Load / cfg.Sizes.Mean()}, nil
+}
+
+// Next draws the next flow, or reports ok=false once the arrival process
+// passes the horizon. After the first !ok the stream is exhausted.
+func (s *PoissonStream) Next(rng *rand.Rand) (Flow, bool) {
+	s.t += rng.ExpFloat64() / s.lambda
+	if s.t >= s.cfg.Horizon {
+		return Flow{}, false
+	}
+	f := Flow{
+		ID:     s.id,
+		Start:  s.t,
+		Size:   int64(math.Max(1, s.cfg.Sizes.Sample(rng))),
+		Sender: rng.Intn(s.cfg.Senders),
+		Recv:   rng.Intn(s.cfg.Receivers),
+	}
+	s.id++
+	return f, true
+}
+
+// Generate produces a Poisson flow arrival sequence: exponential
+// inter-arrival times with rate Load/mean(Sizes), each flow between a
+// uniformly random sender/receiver pair. It is exactly a drained
+// PoissonStream.
+func Generate(cfg Config) ([]Flow, error) {
+	s, err := NewPoissonStream(cfg)
+	if err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	lambda := cfg.Load / cfg.Sizes.Mean() // flows per second
 	var flows []Flow
-	t := 0.0
-	id := 0
 	for {
-		t += rng.ExpFloat64() / lambda
-		if t >= cfg.Horizon {
-			break
+		f, ok := s.Next(rng)
+		if !ok {
+			return flows, nil
 		}
-		flows = append(flows, Flow{
-			ID:     id,
-			Start:  t,
-			Size:   int64(math.Max(1, cfg.Sizes.Sample(rng))),
-			Sender: rng.Intn(cfg.Senders),
-			Recv:   rng.Intn(cfg.Receivers),
-		})
-		id++
+		flows = append(flows, f)
 	}
-	return flows, nil
 }
