@@ -4,10 +4,10 @@
 GO ?= go
 
 .PHONY: ci build vet fmt test race bench bench-smoke determinism obs-ab \
-	telemetry-smoke obsreport-gate topo-smoke
+	telemetry-smoke obsreport-gate topo-smoke shard-smoke
 
 ci: fmt vet build test race bench-smoke determinism obs-ab telemetry-smoke \
-	obsreport-gate topo-smoke
+	obsreport-gate topo-smoke shard-smoke
 
 build:
 	$(GO) build ./...
@@ -92,6 +92,28 @@ topo-smoke:
 	grep -q 'pause_storms=' "$$tmp/a.tsv" \
 		|| { echo "topo-smoke: watchdog reported no fault summary"; exit 1; }; \
 	echo "topo-smoke: Clos incast clean under invariants, ECMP deterministic"
+
+# Sharded-engine gate: the same seeded Clos incast on the serial engine
+# and on 4 shards, both under the invariant checker (which audits cross-
+# shard byte conservation per mailbox edge in the sharded run). The TSV
+# bodies must match byte-for-byte — the sharded output differs only by
+# its one-line partition header, which is stripped before the diff. The
+# -race side of sharding is covered by `make race` (the -short suite
+# keeps TestShardedRunUnderRace, a 4-shard Clos incast, enabled).
+shard-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/packetsim -proto timely -topology clos -radix 4 -tiers 3 \
+		-n 6 -horizon 0.003 -seed 7 -invariants > "$$tmp/serial.tsv" \
+		|| { echo "shard-smoke: invariant violation on the serial run"; exit 1; }; \
+	$(GO) run ./cmd/packetsim -proto timely -topology clos -radix 4 -tiers 3 \
+		-n 6 -horizon 0.003 -seed 7 -invariants -shards 4 > "$$tmp/sharded.tsv" \
+		|| { echo "shard-smoke: invariant violation on the 4-shard run"; exit 1; }; \
+	grep -q '^# shards: 4 effective' "$$tmp/sharded.tsv" \
+		|| { echo "shard-smoke: run fell back to fewer than 4 shards"; exit 1; }; \
+	tail -n +2 "$$tmp/sharded.tsv" > "$$tmp/sharded-body.tsv"; \
+	cmp "$$tmp/serial.tsv" "$$tmp/sharded-body.tsv" \
+		|| { echo "shard-smoke: sharded trajectory diverged from serial"; exit 1; }; \
+	echo "shard-smoke: 4-shard Clos incast byte-identical to serial, invariants clean"
 
 # Telemetry smoke gate: boot packetsim with -serve on an ephemeral port,
 # scrape /metrics and /progress mid-run, and require both to answer with

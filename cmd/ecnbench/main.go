@@ -40,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed       = fs.Int64("seed", 1, "simulation seed")
 		list       = fs.Bool("list", false, "list available experiments and exit")
 		workers    = fs.Int("workers", 1, "experiments to run concurrently (0: GOMAXPROCS)")
+		shards     = fs.Int("shards", 1, "worker shards inside each packet-level experiment (1: serial)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 
@@ -73,7 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	opts := ecndelay.ExperimentOptions{Scale: ecndelay.Quick, Seed: *seed}
+	opts := ecndelay.ExperimentOptions{Scale: ecndelay.Quick, Seed: *seed, Shards: *shards}
 	if *full {
 		opts.Scale = ecndelay.Full
 	}

@@ -56,6 +56,7 @@ func run(args []string, stderr io.Writer) int {
 		expFlag    = fs.String("exp", "all", "exp: experiment id, comma list, or 'all'")
 		seeds      = fs.String("seeds", "", "exp: seed range lo:hi or comma list (empty: one derived seed per job)")
 		full       = fs.Bool("full", false, "exp: paper-scale instead of quick")
+		shards     = fs.Int("shards", 1, "exp: worker shards inside each packet-level job (1: serial)")
 		out        = fs.String("out", "sweep.jsonl", "JSONL checkpoint file")
 		resume     = fs.Bool("resume", false, "skip jobs already completed in -out")
 		workers    = fs.Int("workers", 0, "parallel workers (0: GOMAXPROCS)")
@@ -118,7 +119,7 @@ func run(args []string, stderr io.Writer) int {
 		}
 	}
 
-	jobs, err := buildJobs(*kind, *model, *flows, *delays, *expFlag, *seeds, *full, observer)
+	jobs, err := buildJobs(*kind, *model, *flows, *delays, *expFlag, *seeds, *full, *shards, observer)
 	if err != nil {
 		fmt.Fprintf(stderr, "sweep: %v\n", err)
 		return 2
@@ -285,7 +286,7 @@ func (t *jobTraces) close() error {
 }
 
 // buildJobs expands the flag grid into the job matrix.
-func buildJobs(kind, model, flows, delays, expFlag, seeds string, full bool, obs *ecndelay.Observer) ([]ecndelay.SweepJob, error) {
+func buildJobs(kind, model, flows, delays, expFlag, seeds string, full bool, shards int, obs *ecndelay.Observer) ([]ecndelay.SweepJob, error) {
 	switch kind {
 	case "pm":
 		ns, err := parseInts(flows)
@@ -335,7 +336,7 @@ func buildJobs(kind, model, flows, delays, expFlag, seeds string, full bool, obs
 				seedList = append(seedList, int64(n))
 			}
 		}
-		opts := ecndelay.ExperimentOptions{Scale: ecndelay.Quick, Observer: obs}
+		opts := ecndelay.ExperimentOptions{Scale: ecndelay.Quick, Observer: obs, Shards: shards}
 		if full {
 			opts.Scale = ecndelay.Full
 		}

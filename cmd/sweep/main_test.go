@@ -12,7 +12,7 @@ import (
 )
 
 func TestBuildJobsPMMatrix(t *testing.T) {
-	jobs, err := buildJobs("pm", "dcqcn,patched", "1,8,64", "1e-6,85e-6", "", "", false, nil)
+	jobs, err := buildJobs("pm", "dcqcn,patched", "1,8,64", "1e-6,85e-6", "", "", false, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestBuildJobsPMMatrix(t *testing.T) {
 }
 
 func TestBuildJobsExpMatrix(t *testing.T) {
-	jobs, err := buildJobs("exp", "", "", "", "fig3,fig11", "1:4", false, nil)
+	jobs, err := buildJobs("exp", "", "", "", "fig3,fig11", "1:4", false, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestBuildJobsErrors(t *testing.T) {
 		{"exp", "", "", "", "notanexp", ""},
 		{"exp", "", "", "", "fig3", "x"},
 	} {
-		if _, err := buildJobs(c.kind, c.model, c.flows, c.delays, c.exp, c.seeds, false, nil); err == nil {
+		if _, err := buildJobs(c.kind, c.model, c.flows, c.delays, c.exp, c.seeds, false, 1, nil); err == nil {
 			t.Errorf("buildJobs(%+v) accepted", c)
 		}
 	}

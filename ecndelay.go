@@ -308,6 +308,11 @@ func NewParkingLot(nw *Network, cfg ParkingLotConfig) *ParkingLot {
 // switch hash salts derived from cfg.ECMPSeed.
 func NewClos(nw *Network, cfg ClosConfig) (*Clos, error) { return topo.NewClos(nw, cfg) }
 
+// DefaultShardAssign splits nw's nodes over n shards for
+// Network.PartitionByNode: contiguous blocks, with every RNG-drawing node
+// pinned to shard 0 so the shared-RNG draw order stays serial-identical.
+func DefaultShardAssign(nw *Network, n int) []int { return netsim.DefaultAssign(nw, n) }
+
 // DefaultDCQCNProtoParams returns the [31] protocol defaults.
 func DefaultDCQCNProtoParams() DCQCNProtoParams { return dcqcn.DefaultParams() }
 
@@ -688,6 +693,7 @@ const (
 	InvQueueBounds  = obs.InvQueueBounds
 	InvPFCPairing   = obs.InvPFCPairing
 	InvDoubleFree   = obs.InvDoubleFree
+	InvShardHandoff = obs.InvShardHandoff
 )
 
 // NewMetricsRegistry returns an empty metrics registry.

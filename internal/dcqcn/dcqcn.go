@@ -220,7 +220,7 @@ func (e *Endpoint) maybeCNP(pkt *netsim.Packet) {
 	if !st.sent || now.Sub(st.lastCNP) >= e.p.CNPInterval {
 		st.sent = true
 		st.lastCNP = now
-		cnp := e.host.Net().NewPacket()
+		cnp := e.host.AllocPacket()
 		cnp.Flow = pkt.Flow
 		cnp.Dst = pkt.Src
 		cnp.Size = netsim.CtrlSize
@@ -317,7 +317,7 @@ func (e *Endpoint) NewFlow(id int, dst int, size int64, start des.Time) (*Sender
 	}
 	s := &Sender{e: e, id: id, dst: dst, size: size}
 	e.flows[id] = s
-	e.host.Net().Sim.AtHandler(start, s, evStart)
+	e.host.AtHandler(start, s, evStart)
 	return s, nil
 }
 
@@ -372,7 +372,7 @@ func (s *Sender) sendNext() {
 			last = true
 		}
 	}
-	pkt := s.e.host.Net().NewPacket()
+	pkt := s.e.host.AllocPacket()
 	pkt.Flow = s.id
 	pkt.Dst = s.dst
 	pkt.Size = int(size)
@@ -401,7 +401,7 @@ func (s *Sender) sendNext() {
 		return
 	}
 	gap := des.DurationFromSeconds(float64(size) / s.rc)
-	s.sendEv = s.e.host.Net().Sim.ScheduleHandler(gap, s, evSend)
+	s.sendEv = s.e.host.ScheduleHandler(gap, s, evSend)
 }
 
 func (s *Sender) finish() {
@@ -431,12 +431,12 @@ func (s *Sender) onBytesSent(n int64) {
 
 func (s *Sender) armAlphaTimer() {
 	s.alphaEv.Cancel()
-	s.alphaEv = s.e.host.Net().Sim.ScheduleHandler(s.e.p.AlphaTimer, s, evAlpha)
+	s.alphaEv = s.e.host.ScheduleHandler(s.e.p.AlphaTimer, s, evAlpha)
 }
 
 func (s *Sender) armRateTimer() {
 	s.timerEv.Cancel()
-	s.timerEv = s.e.host.Net().Sim.ScheduleHandler(s.e.p.RateTimer, s, evRate)
+	s.timerEv = s.e.host.ScheduleHandler(s.e.p.RateTimer, s, evRate)
 }
 
 // onCNP is the Eq. 1 multiplicative decrease plus state reset.

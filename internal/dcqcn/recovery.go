@@ -79,7 +79,7 @@ func (e *Endpoint) signal(data *netsim.Packet, kind netsim.Kind, st *rxState, no
 			e.ctr.NacksTx.Inc()
 		}
 	}
-	pkt := e.host.Net().NewPacket()
+	pkt := e.host.AllocPacket()
 	pkt.Flow = data.Flow
 	pkt.Dst = data.Src
 	pkt.Size = netsim.CtrlSize
@@ -229,5 +229,5 @@ func (s *Sender) armRTO() {
 		d = s.e.p.RTOMax
 	}
 	s.rtoEv.Cancel()
-	s.rtoEv = s.e.host.Net().Sim.ScheduleHandler(d, s, evRTO)
+	s.rtoEv = s.e.host.ScheduleHandler(d, s, evRTO)
 }

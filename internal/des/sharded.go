@@ -1,0 +1,227 @@
+// Sharded parallel execution: one network simulated by N shard simulators
+// plus a control simulator, synchronised with a conservative time-window
+// scheme. The lookahead is the minimum propagation delay of any link that
+// crosses a shard boundary: a shard that has processed everything before
+// time T cannot receive a cross-shard event earlier than T+lookahead, so
+// all shards may run the window [T, T+lookahead) concurrently without ever
+// seeing an event in their past (the classic conservative bound of
+// null-message / time-window parallel DES).
+//
+// The control simulator runs stop-the-world between windows: samplers,
+// probe drivers, warmup/horizon hooks and workload arm chains observe the
+// network only while every shard worker is parked at the barrier, so they
+// need no locking and see exactly the state a serial run would show them.
+package des
+
+import (
+	"sync"
+	"time"
+)
+
+// maxTime is the largest representable simulation time.
+const maxTime = Time(1<<63 - 1)
+
+// ShardStats accumulates per-shard execution counters across one
+// ShardedLoop's lifetime.
+type ShardStats struct {
+	Events  uint64        // events fired on this shard
+	Busy    time.Duration // wall-clock spent executing windows
+	Barrier time.Duration // wall-clock spent waiting for the slowest shard
+}
+
+// ShardedLoop coordinates N shard simulators and one control simulator.
+// Shards advance in windows bounded by the lookahead; cross-shard traffic
+// is queued in mailboxes by the owning netsim layer and injected by the
+// Drain callback, which runs on the coordinator goroutine while all
+// workers are parked.
+type ShardedLoop struct {
+	Control   *Simulator   // global events: samplers, hooks, arm chains
+	Shards    []*Simulator // one per shard, disjoint sequence spaces
+	Lookahead Duration     // min cross-shard link propagation delay, > 0
+	Drain     func()       // inject queued mailbox items; may be nil
+
+	windows uint64
+	stats   []ShardStats
+
+	workers []*shardWorker
+	wg      sync.WaitGroup
+}
+
+// shardWorker is one persistent goroutine bound to a shard simulator.
+type shardWorker struct {
+	sim  *Simulator
+	run  chan Time // next window end (inclusive); closed to terminate
+	done chan windowResult
+}
+
+type windowResult struct {
+	fired uint64
+	busy  time.Duration
+}
+
+func (w *shardWorker) loop() {
+	for end := range w.run {
+		t0 := time.Now()
+		fired := w.sim.RunUntil(end)
+		w.done <- windowResult{fired: fired, busy: time.Since(t0)}
+	}
+}
+
+// Windows reports how many synchronisation windows have been executed.
+func (l *ShardedLoop) Windows() uint64 { return l.windows }
+
+// Stats returns a snapshot of the per-shard counters.
+func (l *ShardedLoop) Stats() []ShardStats {
+	out := make([]ShardStats, len(l.stats))
+	copy(out, l.stats)
+	return out
+}
+
+// StatAt returns shard i's counters without allocating; zero before the
+// first window.
+func (l *ShardedLoop) StatAt(i int) ShardStats {
+	if i >= len(l.stats) {
+		return ShardStats{}
+	}
+	return l.stats[i]
+}
+
+func (l *ShardedLoop) start() {
+	if l.workers != nil {
+		return
+	}
+	if l.Lookahead <= 0 {
+		panic("des: ShardedLoop requires a positive lookahead")
+	}
+	l.stats = make([]ShardStats, len(l.Shards))
+	l.workers = make([]*shardWorker, len(l.Shards))
+	for i, s := range l.Shards {
+		w := &shardWorker{sim: s, run: make(chan Time, 1), done: make(chan windowResult, 1)}
+		l.workers[i] = w
+		go w.loop()
+	}
+}
+
+// Close terminates the worker goroutines. The loop can be restarted by the
+// next RunUntil; Close exists so short-lived networks do not leak parked
+// goroutines.
+func (l *ShardedLoop) Close() {
+	for _, w := range l.workers {
+		if w != nil {
+			close(w.run)
+		}
+	}
+	l.workers = nil
+}
+
+// RunUntil advances the whole sharded simulation to end (inclusive), then
+// leaves every simulator's clock at end. The window protocol per round:
+//
+//  1. Drain mailboxes (coordinator only; all workers parked).
+//  2. T = earliest shard event, G = earliest control event.
+//  3. If min(T, G) > end, stop.
+//  4. W = min(T+lookahead, G, end+1): the exclusive window bound. Shards
+//     run RunUntil(W-1) in parallel — every event they fire is >= T, so any
+//     cross-shard send it causes delivers at >= T+lookahead = beyond the
+//     window; nothing a peer shard does this round can affect them.
+//  5. If G == W <= end, fire control events at G stop-the-world. Control
+//     runs before shard events at the same instant, matching the serial
+//     engine where samplers (scheduled a full cadence earlier) carry lower
+//     sequence numbers than same-instant datapath events.
+func (l *ShardedLoop) RunUntil(end Time) {
+	l.start()
+	for {
+		if l.Drain != nil {
+			l.Drain()
+		}
+		T := maxTime
+		for _, s := range l.Shards {
+			if t, ok := s.NextEventTime(); ok && t < T {
+				T = t
+			}
+		}
+		G := maxTime
+		if g, ok := l.Control.NextEventTime(); ok {
+			G = g
+		}
+		if T > end && G > end {
+			break
+		}
+		W := end + 1
+		if T <= end {
+			// w <= T only on int64 overflow of a huge lookahead; treat
+			// that as "unbounded window".
+			if w := T.Add(l.Lookahead); w > T && w < W {
+				W = w
+			}
+		}
+		if G <= end && G < W {
+			W = G
+		}
+		l.runWindow(W - 1)
+		l.windows++
+		if G == W && G <= end {
+			// Control events observe and drive shard-owned state (reading
+			// port counters, starting flows); align every shard clock with
+			// the control time first so anything they schedule or send is
+			// stamped at G, not at a stale window boundary.
+			for _, s := range l.Shards {
+				s.AdvanceTo(G)
+			}
+			l.Control.RunUntil(G)
+		}
+	}
+	// Converge every clock on end so post-run reads (watchdog totals,
+	// monitors) see the same horizon a serial run would.
+	for _, s := range l.Shards {
+		s.RunUntil(end)
+	}
+	l.Control.RunUntil(end)
+}
+
+// runWindow executes one window on every shard that has work. Idle shards
+// (no event <= upTo) are skipped — their state is already what running the
+// window would produce, and their clock catches up lazily. When exactly one
+// shard is active the window runs inline on the coordinator goroutine,
+// avoiding a context switch for the common lopsided-partition case.
+func (l *ShardedLoop) runWindow(upTo Time) {
+	active := -1
+	n := 0
+	for i, s := range l.Shards {
+		if t, ok := s.NextEventTime(); ok && t <= upTo {
+			active = i
+			n++
+		}
+	}
+	switch n {
+	case 0:
+		return
+	case 1:
+		t0 := time.Now()
+		fired := l.Shards[active].RunUntil(upTo)
+		st := &l.stats[active]
+		st.Events += fired
+		st.Busy += time.Since(t0)
+		return
+	}
+	t0 := time.Now()
+	dispatched := make([]bool, len(l.workers))
+	for i, s := range l.Shards {
+		if t, ok := s.NextEventTime(); ok && t <= upTo {
+			l.workers[i].run <- upTo
+			dispatched[i] = true
+		}
+	}
+	for i, w := range l.workers {
+		if !dispatched[i] {
+			continue
+		}
+		res := <-w.done
+		st := &l.stats[i]
+		st.Events += res.fired
+		st.Busy += res.busy
+		if wait := time.Since(t0) - res.busy; wait > 0 {
+			st.Barrier += wait
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package des
+
+import (
+	"sync"
+	"testing"
+)
+
+// recorder logs (label, time) pairs through closures; the order across
+// simulators is what the window protocol promises.
+type step struct {
+	label string
+	at    Time
+}
+
+func TestShardedLoopWindowProtocol(t *testing.T) {
+	control := New()
+	s0, s1 := New(), New()
+	s0.SetSeqBase(1 << 56)
+	s1.SetSeqBase(2 << 56)
+
+	// Shards in the same window run concurrently, so the log needs a lock
+	// and assertions stick to the protocol's partial order: everything
+	// before the control time fires first, the control event runs at the
+	// barrier, and later shard events follow it.
+	var mu sync.Mutex
+	var log []step
+	rec := func(sim *Simulator, label string) func() {
+		return func() {
+			mu.Lock()
+			log = append(log, step{label, sim.Now()})
+			mu.Unlock()
+		}
+	}
+
+	s0.At(5, rec(s0, "s0@5"))
+	s0.At(30, rec(s0, "s0@30"))
+	s1.At(12, rec(s1, "s1@12"))
+	s1.At(25, rec(s1, "s1@25"))
+	control.At(25, rec(control, "ctl@25"))
+
+	l := &ShardedLoop{Control: control, Shards: []*Simulator{s0, s1}, Lookahead: 10}
+	l.RunUntil(40)
+	l.Close()
+
+	if len(log) != 5 {
+		t.Fatalf("fired %d events, want 5: %+v", len(log), log)
+	}
+	pos := map[string]int{}
+	for i, s := range log {
+		pos[s.label] = i
+	}
+	ctl := pos["ctl@25"]
+	for _, early := range []string{"s0@5", "s1@12"} {
+		if pos[early] > ctl {
+			t.Errorf("%s fired after the control event: %+v", early, log)
+		}
+	}
+	for _, late := range []string{"s1@25", "s0@30"} {
+		if pos[late] < ctl {
+			t.Errorf("%s fired before the control event at the same or earlier instant: %+v", late, log)
+		}
+	}
+	// All clocks converge on the horizon.
+	for i, sim := range []*Simulator{control, s0, s1} {
+		if sim.Now() != 40 {
+			t.Errorf("simulator %d clock %v, want 40", i, sim.Now())
+		}
+	}
+	if l.Windows() == 0 {
+		t.Error("no windows recorded")
+	}
+}
+
+func TestShardedLoopStatsCountEvents(t *testing.T) {
+	control := New()
+	s0, s1 := New(), New()
+	s0.SetSeqBase(1 << 56)
+	s1.SetSeqBase(2 << 56)
+	for i := Time(0); i < 10; i++ {
+		s0.At(i, func() {})
+	}
+	s1.At(3, func() {})
+	l := &ShardedLoop{Control: control, Shards: []*Simulator{s0, s1}, Lookahead: 2}
+	l.RunUntil(20)
+	l.Close()
+	st := l.Stats()
+	if st[0].Events != 10 || st[1].Events != 1 {
+		t.Errorf("per-shard events = %d, %d; want 10, 1", st[0].Events, st[1].Events)
+	}
+	if got := l.StatAt(0).Events; got != 10 {
+		t.Errorf("StatAt(0).Events = %d, want 10", got)
+	}
+	if got := l.StatAt(99); got != (ShardStats{}) {
+		t.Errorf("StatAt out of range = %+v, want zero", got)
+	}
+}
+
+// Cross-window causality: an event a shard schedules during a window for a
+// time beyond the window fires in a later round, at the right clock.
+func TestShardedLoopReschedulesAcrossWindows(t *testing.T) {
+	control := New()
+	s0 := New()
+	s0.SetSeqBase(1 << 56)
+	var fired []Time
+	var chain func()
+	chain = func() {
+		fired = append(fired, s0.Now())
+		if len(fired) < 5 {
+			s0.Schedule(7, chain)
+		}
+	}
+	s0.At(0, chain)
+	l := &ShardedLoop{Control: control, Shards: []*Simulator{s0}, Lookahead: 3}
+	l.RunUntil(100)
+	l.Close()
+	want := []Time{0, 7, 14, 21, 28}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestShardedLoopRequiresLookahead(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive lookahead")
+		}
+	}()
+	l := &ShardedLoop{Control: New(), Shards: []*Simulator{New()}}
+	l.RunUntil(10)
+}
+
+func TestAdvanceTo(t *testing.T) {
+	s := New()
+	s.AdvanceTo(50)
+	if s.Now() != 50 {
+		t.Fatalf("clock %v, want 50", s.Now())
+	}
+	// Backwards or equal: no-op.
+	s.AdvanceTo(10)
+	if s.Now() != 50 {
+		t.Fatalf("clock moved backwards to %v", s.Now())
+	}
+	// An event exactly at the target stays queued.
+	s.At(60, func() {})
+	s.AdvanceTo(60)
+	if s.Pending() != 1 {
+		t.Fatalf("event at the advance target was consumed")
+	}
+	// Skipping past a queued event is a bug, caught loudly.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when skipping a queued event")
+		}
+	}()
+	s.AdvanceTo(61)
+}
+
+// Caller-minted keys beat simulator-counter keys deterministically: at an
+// equal (time, sub) instant, the explicit seq decides the order no matter
+// which call was issued first.
+func TestAtHandlerSeqOrdersTies(t *testing.T) {
+	s := New()
+	var got []int
+	h := handlerFunc(func(arg any) { got = append(got, arg.(int)) })
+	s.AtHandlerSeq(10, 500, h, 2)
+	s.AtHandlerSeq(10, 100, h, 1)
+	s.ScheduleHandlerSeq(10, 900, h, 3)
+	s.RunUntil(10)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("fired order %v, want [1 2 3]", got)
+	}
+}

@@ -11,6 +11,7 @@ package exp
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"ecndelay/internal/dcqcn"
 	"ecndelay/internal/des"
@@ -66,6 +67,10 @@ type closRunConfig struct {
 	Observer   *obs.NetObserver
 	ProbeName  string
 	HistPrefix string
+
+	// Shards runs the fabric partitioned across this many shard
+	// simulators (see Options.Shards); ≤ 1 is the serial engine.
+	Shards int
 }
 
 // closRunResult aggregates one fabric run.
@@ -120,7 +125,17 @@ func runClos(cfg closRunConfig) (*closRunResult, error) {
 	start := make(map[int]float64)
 	inFlight := 0
 	fctH := cfg.Observer.Hist(cfg.HistPrefix + "fct_all_s")
+	// In a sharded run completions fire on shard goroutines while the
+	// arm-chain arrivals run stop-the-world on the coordinator, so both
+	// closures serialise on one mutex, and the FCT slice is rebuilt after
+	// the run in serial completion order (see sortRecs).
+	var mu sync.Mutex
+	var recs []fctRec
 	complete := func(flowID int, at des.Time) {
+		if cfg.Shards > 1 {
+			mu.Lock()
+			defer mu.Unlock()
+		}
 		s, ok := start[flowID]
 		if !ok {
 			return
@@ -129,7 +144,11 @@ func runClos(cfg closRunConfig) (*closRunResult, error) {
 		res.Completed++
 		inFlight--
 		fct := at.Seconds() - s
-		res.AllFCT = append(res.AllFCT, fct)
+		if cfg.Shards > 1 {
+			recs = append(recs, fctRec{at: at, flow: flowID, fct: fct})
+		} else {
+			res.AllFCT = append(res.AllFCT, fct)
+		}
 		if fctH != nil {
 			fctH.Record(fct)
 		}
@@ -184,11 +203,17 @@ func runClos(cfg closRunConfig) (*closRunResult, error) {
 	}
 
 	track := func(f workload.Flow) error {
+		if cfg.Shards > 1 {
+			mu.Lock()
+		}
 		start[f.ID] = f.Start
 		res.Generated++
 		inFlight++
 		if inFlight > res.PeakInFlight {
 			res.PeakInFlight = inFlight
+		}
+		if cfg.Shards > 1 {
+			mu.Unlock()
 		}
 		return startFlow(f)
 	}
@@ -237,7 +262,15 @@ func runClos(cfg closRunConfig) (*closRunResult, error) {
 		})
 	}
 
-	nw.Sim.RunUntil(des.Time(des.DurationFromSeconds(cfg.Horizon + cfg.Drain)))
+	if rerr := runNet(nw, cfg.Shards, des.Time(des.DurationFromSeconds(cfg.Horizon+cfg.Drain))); rerr != nil {
+		return nil, rerr
+	}
+	if cfg.Shards > 1 {
+		sortRecs(recs)
+		for _, r := range recs {
+			res.AllFCT = append(res.AllFCT, r.fct)
+		}
+	}
 	wd.Finish()
 	if o := cfg.Observer; o != nil && o.Check != nil {
 		o.Check.Finish(nw.Sim.Now())
@@ -299,6 +332,7 @@ func runClosIncast(o Options) (*Report, error) {
 				Observer:   o.Observer,
 				ProbeName:  fmt.Sprintf("clos_queue.N%d.%s", n, proto),
 				HistPrefix: fmt.Sprintf("closincast.N%d.%s.", n, proto),
+				Shards:     o.Shards,
 			})
 			if err != nil {
 				return nil, err
@@ -359,6 +393,7 @@ func runClosShuffle(o Options) (*Report, error) {
 			Observer:   o.Observer,
 			ProbeName:  fmt.Sprintf("clos_queue.shuffle.%s", proto),
 			HistPrefix: fmt.Sprintf("closshuffle.%s.", proto),
+			Shards:     o.Shards,
 		})
 		if err != nil {
 			return nil, err
@@ -445,6 +480,7 @@ func runClosLoad(o Options) (*Report, error) {
 			Observer:   o.Observer,
 			ProbeName:  fmt.Sprintf("clos_queue.load.%s", proto),
 			HistPrefix: fmt.Sprintf("closload.%s.", proto),
+			Shards:     o.Shards,
 		})
 		if err != nil {
 			return nil, err

@@ -99,7 +99,9 @@ func runFig2(o Options) (*Report, error) {
 			return nil, err
 		}
 		qs := netsim.MonitorQueueBytes(nw.Sim, star.Bottleneck, 100*des.Microsecond)
-		nw.Sim.RunUntil(des.Time(des.DurationFromSeconds(horizon)))
+		if err := runNet(nw, o.Shards, des.Time(des.DurationFromSeconds(horizon))); err != nil {
+			return nil, err
+		}
 		qP := qs.WindowSummary(horizon*0.6, horizon)
 		var sumRate float64
 		for _, s := range senders {
@@ -241,7 +243,9 @@ func runFig5(o Options) (*Report, error) {
 			return nil, err
 		}
 		qs := netsim.MonitorQueueBytes(nw.Sim, star.Bottleneck, 100*des.Microsecond)
-		nw.Sim.RunUntil(des.Time(des.DurationFromSeconds(horizon)))
+		if err := runNet(nw, o.Shards, des.Time(des.DurationFromSeconds(horizon))); err != nil {
+			return nil, err
+		}
 		q := qs.WindowSummary(horizon*0.5, horizon)
 		tbl.Rows = append(tbl.Rows, []string{
 			extra.String(), f1(q.Mean / 1000), f2(q.CV()), f1(q.Max / 1000),

@@ -99,7 +99,9 @@ func runExtMultihop(o Options) (*Report, error) {
 			rates[i].Add(ts, s.Rate())
 		}
 	})
-	nw.Sim.RunUntil(des.Time(des.DurationFromSeconds(horizon)))
+	if err := runNet(nw, o.Shards, des.Time(des.DurationFromSeconds(horizon))); err != nil {
+		return nil, err
+	}
 
 	tbl := Table{Cols: []string{"flow", "rate Gb/s", "share of 40G"}}
 	var longRate, crossMean float64
@@ -132,9 +134,9 @@ func (r *rawBlaster) start() {
 	gap := des.DurationFromSeconds(netsim.DataMTU / r.rate)
 	loop = func() {
 		r.h.Send(&netsim.Packet{Flow: -1, Dst: r.dst, Size: netsim.DataMTU, Kind: netsim.Data, ECT: true})
-		r.h.Net().Sim.Schedule(gap, loop)
+		r.h.Sim().Schedule(gap, loop)
 	}
-	r.h.Net().Sim.Schedule(0, loop)
+	r.h.Sim().Schedule(0, loop)
 }
 
 // runExtPFC shows PFC's head-of-line blocking: two line-rate senders
@@ -213,7 +215,9 @@ func runExtPFC(o Options) (*Report, error) {
 				b.start()
 			}
 		}
-		nw.Sim.RunUntil(des.Time(des.DurationFromSeconds(horizon)))
+		if err := runNet(nw, o.Shards, des.Time(des.DurationFromSeconds(horizon))); err != nil {
+			return 0, err
+		}
 		// The victim alone could use the full trunk share it asks for;
 		// its fair entitlement here is ~bw/3 of the trunk (three flows),
 		// but its own egress is idle, so anything far below bw/3 is HoL
@@ -288,7 +292,9 @@ func runExtPI(o Options) (*Report, error) {
 				}
 			}
 			qs := netsim.MonitorQueueBytes(nw.Sim, star.Bottleneck, 100*des.Microsecond)
-			nw.Sim.RunUntil(des.Time(des.DurationFromSeconds(horizon)))
+			if err := runNet(nw, o.Shards, des.Time(des.DurationFromSeconds(horizon))); err != nil {
+				return nil, err
+			}
 			q := qs.WindowSummary(horizon*0.6, horizon)
 			name := "RED"
 			if usePI {

@@ -52,6 +52,7 @@ func runFaultLoss(o Options) (*Report, error) {
 				Observer:   o.Observer,
 				ProbeName:  fmt.Sprintf("queue_bytes.loss%g.%s", rate, proto),
 				HistPrefix: fmt.Sprintf("loss%g.%s.", rate, proto),
+				Shards:     o.Shards,
 			})
 			if err != nil {
 				return nil, err
@@ -124,7 +125,9 @@ func runFaultCNP(o Options) (*Report, error) {
 			}}}).Apply(nw)
 		}
 		qs := netsim.MonitorQueueBytes(nw.Sim, star.Bottleneck, 100*des.Microsecond)
-		nw.Sim.RunUntil(des.Time(des.DurationFromSeconds(horizon)))
+		if err := runNet(nw, o.Shards, des.Time(des.DurationFromSeconds(horizon))); err != nil {
+			return nil, err
+		}
 		q := qs.WindowSummary(horizon*0.5, horizon)
 		tbl.Rows = append(tbl.Rows, []string{
 			eng(rate), f1(q.Mean / 1000), f1(q.Max / 1000), f2(q.CV()),

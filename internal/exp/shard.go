@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"ecndelay/internal/des"
+	"ecndelay/internal/netsim"
+)
+
+// runNet drives nw to end on the engine the options ask for: the serial
+// simulator for shards ≤ 1 (the historical nw.Sim.RunUntil call,
+// byte-identical) or the sharded window loop. Partitioning happens here —
+// after the caller finished building topology, fault plans and workload
+// hooks — so every RNG-drawing port is visible to netsim.DefaultAssign's
+// pinning pass. More shards than nodes is a configuration error, rejected
+// before DefaultAssign's load-balancing clamp can paper over it.
+func runNet(nw *netsim.Network, shards int, end des.Time) error {
+	if shards > nw.NodeCount() {
+		return fmt.Errorf("exp: %d shards exceed the network's %d nodes", shards, nw.NodeCount())
+	}
+	if shards > 1 {
+		if err := nw.PartitionByNode(netsim.DefaultAssign(nw, shards)); err != nil {
+			return err
+		}
+	}
+	nw.RunUntil(end)
+	return nil
+}
+
+// fctRec is one completion captured during a sharded run, replayed after
+// the run in serial-equivalent order.
+type fctRec struct {
+	at   des.Time
+	flow int
+	fct  float64
+}
+
+// sortRecs orders captured completions the way the serial heap fires them:
+// by completion instant, ties by flow id (symmetric same-instant
+// completions are scheduled in flow creation order serially, so flow id
+// reproduces the serial tie-break). Shard goroutines append completions in
+// wall-clock race order; this replay makes the derived slices — and every
+// float accumulation over them — independent of that order.
+func sortRecs(recs []fctRec) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].at != recs[j].at {
+			return recs[i].at < recs[j].at
+		}
+		return recs[i].flow < recs[j].flow
+	})
+}

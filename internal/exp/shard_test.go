@@ -1,0 +1,216 @@
+package exp
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"ecndelay/internal/obs"
+)
+
+// The sharded engine's headline guarantee: -shards N is metrics-identical
+// to -shards 1 for EVERY registered experiment. Fluid-model experiments
+// ignore Shards and pass trivially; every packet-level runner exercises
+// partitioning, cross-shard mailboxes and the window protocol for real.
+// The matrix is the expensive anchor of the guarantee, so it skips under
+// -short (the race gate runs TestShardedRunUnderRace instead).
+func TestShardedMetricsMatchSerialEverywhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment matrix; see TestShardedRunUnderRace for the -short gate")
+	}
+	for _, r := range Runners() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			serial, err := r.Run(Options{Scale: Quick, Seed: 42})
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			sharded, err := r.Run(Options{Scale: Quick, Seed: 42, Shards: 4})
+			if err != nil {
+				t.Fatalf("sharded: %v", err)
+			}
+			if !reflect.DeepEqual(serial.Metrics, sharded.Metrics) {
+				t.Errorf("metrics diverge:\nserial : %v\nsharded: %v", serial.Metrics, sharded.Metrics)
+			}
+			if !reflect.DeepEqual(serial.Tables, sharded.Tables) {
+				t.Errorf("rendered tables diverge:\nserial : %+v\nsharded: %+v", serial.Tables, sharded.Tables)
+			}
+		})
+	}
+}
+
+// Any two shard counts agree with each other, not just with serial: the
+// trajectory is a property of the network, not of the partition.
+func TestShardedTwoVsFourConsistent(t *testing.T) {
+	r, ok := Get("closincast")
+	if !ok {
+		t.Fatal("no closincast runner")
+	}
+	two, err := r.Run(Options{Scale: Quick, Seed: 7, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := r.Run(Options{Scale: Quick, Seed: 7, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(two.Metrics, four.Metrics) {
+		t.Errorf("2-shard and 4-shard metrics diverge:\n2: %v\n4: %v", two.Metrics, four.Metrics)
+	}
+}
+
+// A sharded run under the race detector: small enough for the -short race
+// gate, real enough to cross shard boundaries (Clos incast fans 15 hosts
+// across 4 shards). Also asserts the run used more than one shard — a
+// silently serial fallback would make the race coverage vacuous.
+func TestShardedRunUnderRace(t *testing.T) {
+	r, ok := Get("closincast")
+	if !ok {
+		t.Fatal("no closincast runner")
+	}
+	serial, err := r.Run(Options{Scale: Quick, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := r.Run(Options{Scale: Quick, Seed: 11, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Metrics, sharded.Metrics) {
+		t.Errorf("metrics diverge:\nserial : %v\nsharded: %v", serial.Metrics, sharded.Metrics)
+	}
+}
+
+// Attaching the full observability stack (counters, trace, invariant
+// checker, probes, histograms) to a sharded run must not perturb it: the
+// A (unobserved) and B (observed) runs produce identical metrics, and the
+// checker — including the cross-shard byte-conservation audit — is clean.
+func TestShardedObserverAB(t *testing.T) {
+	r, ok := Get("closincast")
+	if !ok {
+		t.Fatal("no closincast runner")
+	}
+	plain, err := r.Run(Options{Scale: Quick, Seed: 3, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.Full()
+	observed, err := r.Run(Options{Scale: Quick, Seed: 3, Shards: 4, Observer: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Metrics, observed.Metrics) {
+		t.Errorf("observer perturbed the sharded run:\nplain   : %v\nobserved: %v", plain.Metrics, observed.Metrics)
+	}
+	if err := o.Check.Err(); err != nil {
+		t.Errorf("invariants violated in sharded run: %v", err)
+	}
+	if o.Check.Count(obs.InvShardHandoff) != 0 {
+		t.Errorf("shard handoff audit flagged %d edges", o.Check.Count(obs.InvShardHandoff))
+	}
+	if n := o.Metrics.Gauge("shard.count").Value(); n != 4 {
+		t.Errorf("shard.count gauge = %d, want 4", n)
+	}
+	if o.Metrics.Gauge("shard.windows").Value() == 0 {
+		t.Error("shard.windows gauge never advanced")
+	}
+}
+
+// collectSink accumulates trace events for the trace-identity test.
+type collectSink struct{ evs []obs.Event }
+
+func (c *collectSink) Event(e obs.Event) { c.evs = append(c.evs, e) }
+
+// Beyond metrics: the full per-node event trace of a sharded run is
+// identical to serial. Events are grouped by (network, node) because the
+// global interleaving across shards is nondeterministic wall-clock order;
+// each node's own stream — enqueues, dequeues, marks, pauses, deliveries
+// in simulation order — must match event for event. Packet ids are masked
+// (shards mint from disjoint id blocks by design).
+func TestShardedTraceIdenticalPerNode(t *testing.T) {
+	type nodeKey struct {
+		run  int
+		node int32
+	}
+	group := func(evs []obs.Event) map[nodeKey][]obs.Event {
+		runMap := map[uint32]int{}
+		out := map[nodeKey][]obs.Event{}
+		for _, e := range evs {
+			r, ok := runMap[e.Run]
+			if !ok {
+				r = len(runMap)
+				runMap[e.Run] = r
+			}
+			k := nodeKey{run: r, node: e.Node}
+			e.Run, e.Pkt = 0, 0
+			out[k] = append(out[k], e)
+		}
+		return out
+	}
+	trace := func(shards int) map[nodeKey][]obs.Event {
+		sink := &collectSink{}
+		o := &obs.NetObserver{Trace: obs.NewTracer(sink)}
+		r, ok := Get("closincast")
+		if !ok {
+			t.Fatal("no closincast runner")
+		}
+		if _, err := r.Run(Options{Scale: Quick, Seed: 42, Observer: o, Shards: shards}); err != nil {
+			t.Fatal(err)
+		}
+		return group(sink.evs)
+	}
+	serial := trace(1)
+	sharded := trace(4)
+	if len(serial) != len(sharded) {
+		t.Fatalf("node set differs: %d vs %d", len(serial), len(sharded))
+	}
+	var keys []nodeKey
+	for k := range serial {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].run != keys[j].run {
+			return keys[i].run < keys[j].run
+		}
+		return keys[i].node < keys[j].node
+	})
+	for _, k := range keys {
+		a, b := serial[k], sharded[k]
+		if len(a) != len(b) {
+			t.Errorf("run %d node %d: %d events serial, %d sharded", k.run, k.node, len(a), len(b))
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("run %d node %d event %d diverges:\nserial : %+v\nsharded: %+v",
+					k.run, k.node, i, a[i], b[i])
+				break
+			}
+		}
+	}
+}
+
+// Shards beyond the node count must be rejected with a descriptive error,
+// at the harness level too (packetsim pre-checks; this covers runNet).
+func TestShardCountValidation(t *testing.T) {
+	r, ok := Get("fig17")
+	if !ok {
+		t.Fatal("no fig17 runner")
+	}
+	_, err := r.Run(Options{Scale: Quick, Seed: 1, Shards: 100000})
+	if err == nil {
+		t.Fatal("expected error for absurd shard count")
+	}
+	if want := "exceed"; !containsStr(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err, want)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -8,6 +8,7 @@ package netsim
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"ecndelay/internal/des"
 	"ecndelay/internal/obs"
@@ -29,9 +30,13 @@ type Network struct {
 	Rng   *rand.Rand
 	nodes []Node
 	ports []*Port
-	pktID uint64
 
-	pktFree []*Packet
+	// def is the default (serial) shard context: it owns the packet free
+	// list and id counter of an unpartitioned run and schedules on Sim.
+	// PartitionByNode replaces the per-node context pointers with
+	// per-shard ones; shard is nil until then.
+	def     shardCtx
+	shard   *sharding
 	pooling bool
 
 	// obs is the attached observability layer; nil — the default — keeps
@@ -46,11 +51,13 @@ type Network struct {
 
 // New creates an empty network with a deterministic RNG.
 func New(seed int64) *Network {
-	return &Network{
+	nw := &Network{
 		Sim:     des.New(),
 		Rng:     rand.New(rand.NewSource(seed)),
 		pooling: poolingDefault,
 	}
+	nw.def = shardCtx{nw: nw, sim: nw.Sim}
+	return nw
 }
 
 // AddNode registers n and returns its id. Topology helpers call this.
@@ -58,6 +65,10 @@ func (nw *Network) addNode(n Node) int {
 	nw.nodes = append(nw.nodes, n)
 	return len(nw.nodes) - 1
 }
+
+// NodeCount reports the number of registered nodes (partition maps must
+// cover exactly this many entries).
+func (nw *Network) NodeCount() int { return len(nw.nodes) }
 
 // NodeByID returns a registered node.
 func (nw *Network) NodeByID(id int) Node {
@@ -67,11 +78,9 @@ func (nw *Network) NodeByID(id int) Node {
 	return nw.nodes[id]
 }
 
-// NextPacketID hands out unique packet ids.
-func (nw *Network) NextPacketID() uint64 {
-	nw.pktID++
-	return nw.pktID
-}
+// NextPacketID hands out unique packet ids from the default context.
+// Sharded nodes use their own context's id space instead.
+func (nw *Network) NextPacketID() uint64 { return nw.def.nextPacketID() }
 
 // FaultHook intercepts packets leaving a port; internal/fault installs
 // implementations via SetFaultHook. DropTx is consulted once per packet at
@@ -96,6 +105,20 @@ type Port struct {
 	owner Node
 	peer  Node
 
+	// ctx is the owner's shard context (scheduling, packet pool);
+	// peerCtx the peer's. They coincide — and out is nil — unless the
+	// port crosses a shard boundary, in which case deliveries route
+	// through the out mailbox instead of the local heap.
+	ctx     *shardCtx
+	peerCtx *shardCtx
+	out     *mailbox
+	// mint is the owner node's event-sequence minter: transmit ticks and
+	// deliveries carry owner-minted keys so their tie order is independent
+	// of the shard partition. Nil only for custom Node implementations
+	// (tests), which fall back to the simulator counter and cannot be
+	// sharded anyway.
+	mint *nodeSeq
+
 	// ownerSwitch caches the owner's *Switch identity so the per-packet
 	// departure hook avoids a type assertion; nil for host NICs.
 	ownerSwitch *Switch
@@ -117,9 +140,12 @@ type Port struct {
 	paused bool
 
 	// Fault-injection state (inert unless internal/fault wires it up).
+	// down and wireDrops are atomic because a sharded delivery fires on
+	// the peer's shard while flaps and transmit-side drops happen on the
+	// owner's; serial behaviour is unchanged.
 	hook      FaultHook
-	down      bool  // link flap: refuses tx and drops deliveries
-	wireDrops int64 // packets lost on the wire (fault hook or flap)
+	down      atomic.Bool  // link flap: refuses tx and drops deliveries
+	wireDrops atomic.Int64 // packets lost on the wire (fault hook or flap)
 	watch     *watchedPort
 
 	// ctr is the port's bound counter set; nil when no observer (or no
@@ -147,12 +173,17 @@ func (nw *Network) NewPort(owner, peer Node, bandwidth float64, prop des.Duratio
 	}
 	p := &Port{
 		net: nw, owner: owner, peer: peer,
+		ctx: &nw.def, peerCtx: &nw.def,
 		Bandwidth: bandwidth, PropDelay: prop,
 		queue: NewQueue(m),
 	}
 	p.queue.port = p
-	if sw, ok := owner.(*Switch); ok {
-		p.ownerSwitch = sw
+	switch v := owner.(type) {
+	case *Switch:
+		p.ownerSwitch = v
+		p.mint = &v.seq
+	case *Host:
+		p.mint = &v.seq
 	}
 	if sm, ok := m.(startableMarker); ok {
 		sm.Start(nw.Sim, p.queue)
@@ -186,19 +217,23 @@ func (p *Port) SetFaultHook(h FaultHook) { p.hook = h }
 // (the in-flight contents of the wire die with the link). Bringing the
 // link back up restarts the transmitter.
 func (p *Port) SetLinkDown(down bool) {
-	p.down = down
+	p.down.Store(down)
 	if !down {
 		p.tryTx()
 	}
 }
 
 // LinkDown reports whether the link is flapped down.
-func (p *Port) LinkDown() bool { return p.down }
+func (p *Port) LinkDown() bool { return p.down.Load() }
 
 // WireDrops reports packets lost on the wire by fault injection or link
 // flaps (tail drops at the finite egress queue are counted separately, by
 // Queue.Drops).
-func (p *Port) WireDrops() int64 { return p.wireDrops }
+func (p *Port) WireDrops() int64 { return p.wireDrops.Load() }
+
+// Sim returns the simulator the port's owner schedules on: Network.Sim
+// for a serial run, the owner's shard simulator when partitioned.
+func (p *Port) Sim() *des.Simulator { return p.ctx.sim }
 
 // Send enqueues pkt for transmission and starts the transmitter if idle.
 // A tail drop at a finite queue releases the switch's PFC accounting for
@@ -208,7 +243,7 @@ func (p *Port) Send(pkt *Packet) {
 		if p.ownerSwitch != nil {
 			p.ownerSwitch.departed(pkt)
 		}
-		p.net.FreePacket(pkt)
+		p.ctx.freePacket(pkt)
 		return
 	}
 	p.tryTx()
@@ -218,7 +253,24 @@ func (p *Port) Send(pkt *Packet) {
 // real NICs emit from a dedicated high-priority path): the packet arrives
 // after just the propagation delay.
 func (p *Port) SendDirect(pkt *Packet) {
-	p.net.Sim.ScheduleHandler(p.PropDelay, p, pkt)
+	p.deliver(p.PropDelay, pkt)
+}
+
+// deliver launches the propagation leg: a local event on the owner's
+// simulator, or — when the peer lives on another shard — a mailbox push
+// that keeps the exact (send-time, owner-minted seq) key the local
+// schedule mints, so the consumer heap fires it in the identical order.
+func (p *Port) deliver(delay des.Duration, pkt *Packet) {
+	if p.mint == nil {
+		p.ctx.sim.ScheduleHandler(delay, p, pkt)
+		return
+	}
+	if p.out == nil {
+		p.ctx.sim.ScheduleHandlerSeq(delay, p.mint.mint(), p, pkt)
+		return
+	}
+	now := p.ctx.sim.Now()
+	p.out.push(now.Add(delay), now, p.mint.mint(), pkt)
 }
 
 // pause and unpause implement PFC flow control on this port. Both are
@@ -266,12 +318,14 @@ func (p *Port) OnEvent(arg any) {
 		return
 	}
 	pkt := arg.(*Packet)
-	if p.down {
-		p.wireDrops++
+	// Deliveries fire on the peer's shard: free into the peer's pool and
+	// stamp observability with the peer simulator's clock.
+	if p.down.Load() {
+		p.wireDrops.Add(1)
 		if p.net.obs != nil {
-			p.obsWireDrop(pkt)
+			p.obsWireDropAt(p.peerCtx.sim.Now(), pkt)
 		}
-		p.net.FreePacket(pkt)
+		p.peerCtx.freePacket(pkt)
 		return
 	}
 	pkt.prevHop = p.owner.ID()
@@ -279,7 +333,7 @@ func (p *Port) OnEvent(arg any) {
 }
 
 func (p *Port) tryTx() {
-	if p.busy || p.paused || p.down || p.queue.Len() == 0 {
+	if p.busy || p.paused || p.down.Load() || p.queue.Len() == 0 {
 		return
 	}
 	pkt := p.queue.Pop()
@@ -291,7 +345,11 @@ func (p *Port) tryTx() {
 		p.ctr.TxBytes.Add(int64(pkt.Size))
 		p.ctr.TxPkts.Inc()
 	}
-	p.net.Sim.ScheduleHandler(txTime, p, nil)
+	if p.mint != nil {
+		p.ctx.sim.ScheduleHandlerSeq(txTime, p.mint.mint(), p, nil)
+	} else {
+		p.ctx.sim.ScheduleHandler(txTime, p, nil)
+	}
 }
 
 // txDone finishes serialising the in-flight packet: release PFC accounting,
@@ -306,12 +364,12 @@ func (p *Port) txDone() {
 	if p.ownerSwitch != nil {
 		p.ownerSwitch.departed(pkt)
 	}
-	if p.down || (p.hook != nil && p.hook.DropTx(pkt)) {
-		p.wireDrops++
+	if p.down.Load() || (p.hook != nil && p.hook.DropTx(pkt)) {
+		p.wireDrops.Add(1)
 		if p.net.obs != nil {
-			p.obsWireDrop(pkt)
+			p.obsWireDropAt(p.ctx.sim.Now(), pkt)
 		}
-		p.net.FreePacket(pkt)
+		p.ctx.freePacket(pkt)
 		p.tryTx()
 		return
 	}
@@ -322,6 +380,6 @@ func (p *Port) txDone() {
 			delay += des.Duration(p.net.Rng.Int63n(int64(p.CtrlJitterMax)))
 		}
 	}
-	p.net.Sim.ScheduleHandler(delay, p, pkt)
+	p.deliver(delay, pkt)
 	p.tryTx()
 }

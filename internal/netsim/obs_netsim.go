@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"ecndelay/internal/des"
 	"ecndelay/internal/obs"
 )
 
@@ -67,9 +68,15 @@ func (p *Port) bindObs() {
 
 // obsEvent fills the port-invariant fields of a trace record and routes it
 // through the observer. The caller has already checked p.net.obs != nil.
+// Callers run on the owner's shard, so the owner context's clock is the
+// correct event time (identical to Network.Sim in a serial run).
 func (p *Port) obsEvent(typ obs.EventType, pkt *Packet) {
+	p.obsEventAt(p.ctx.sim.Now(), typ, pkt)
+}
+
+func (p *Port) obsEventAt(t des.Time, typ obs.EventType, pkt *Packet) {
 	e := obs.Event{
-		T:    p.net.Sim.Now(),
+		T:    t,
 		Type: typ,
 		Kind: obs.KindNone,
 		Run:  p.net.obsRun,
@@ -109,12 +116,14 @@ func (p *Port) obsBufDrop(pkt *Packet) {
 	p.obsEvent(obs.BufDrop, pkt)
 }
 
-// obsWireDrop records a packet lost on the wire (fault hook or link flap).
-func (p *Port) obsWireDrop(pkt *Packet) {
+// obsWireDropAt records a packet lost on the wire (fault hook or link
+// flap) at an explicit time: transmit-side drops happen on the owner's
+// clock, delivery-side flap drops on the peer shard's.
+func (p *Port) obsWireDropAt(t des.Time, pkt *Packet) {
 	if p.ctr != nil {
 		p.ctr.WireDrops.Inc()
 	}
-	p.obsEvent(obs.WireDrop, pkt)
+	p.obsEventAt(t, obs.WireDrop, pkt)
 }
 
 // obsDeliver records a packet landing at its destination host.
@@ -124,7 +133,7 @@ func (h *Host) obsDeliver(pkt *Packet) {
 		return
 	}
 	o.Emit(obs.Event{
-		T:    h.net.Sim.Now(),
+		T:    h.ctx.sim.Now(),
 		Type: obs.Deliver,
 		Kind: uint8(pkt.Kind),
 		Run:  h.net.obsRun,
@@ -137,10 +146,11 @@ func (h *Host) obsDeliver(pkt *Packet) {
 	})
 }
 
-// obsDoubleFree records a pooled packet freed twice.
-func (nw *Network) obsDoubleFree(pkt *Packet) {
+// obsDoubleFreeAt records a pooled packet freed twice, stamped with the
+// freeing shard's clock.
+func (nw *Network) obsDoubleFreeAt(t des.Time, pkt *Packet) {
 	nw.obs.Emit(obs.Event{
-		T:    nw.Sim.Now(),
+		T:    t,
 		Type: obs.DoubleFree,
 		Kind: uint8(pkt.Kind),
 		Run:  nw.obsRun,

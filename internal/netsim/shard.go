@@ -1,0 +1,473 @@
+package netsim
+
+// Sharded execution of one network: PartitionByNode splits the node set
+// across N shard simulators that run concurrently under the conservative
+// window protocol of des.ShardedLoop. Each shard owns its nodes, their
+// egress ports, its own packet free list and packet-id space; the only
+// cross-shard interaction is packet handoff through per-edge SPSC
+// mailboxes, drained by the barrier coordinator between windows.
+//
+// Determinism: every event carries a (time, sub, seq) key, where sub is
+// the producer-side schedule time and seq is minted per network NODE
+// ((node+1)<<nodeSeqBits | counter), not per simulator. Per-node minting
+// makes tie order at equal (time, sub) a property of the network — smaller
+// node id first, program order within a node — so it cannot depend on how
+// nodes are packed onto shards. A cross-shard delivery keeps the key it
+// would have had if scheduled locally, so each shard's heap fires in an
+// order independent of window placement and of how many shards exist —
+// the foundation of the "-shards N metrics-identical to -shards 1"
+// guarantee. Control events (samplers, arm chains, anything on
+// Network.Sim) keep the simulator counter from base 0: at equal (time,
+// sub) they sort before every node-minted event, which is exactly the
+// stop-the-world order the window protocol gives them. The unsharded
+// network keeps using Network.Sim directly, with packet ids 1,2,3,… as
+// before.
+//
+// The shared Network.Rng (RED/PI markers, control-packet jitter) is the
+// one piece of state a partition cannot split: every node that can draw
+// from it on the datapath must live on a single shard. PartitionByNode
+// enforces that, and DefaultAssign pins all such nodes to shard 0.
+
+import (
+	"fmt"
+
+	"ecndelay/internal/des"
+	"ecndelay/internal/obs"
+)
+
+// seqSpaceBits positions each shard's packet-id space (and its simulator's
+// fallback sequence counter): shard i uses base (i+1)<<56. Node-minted
+// event keys live below 1<<56 for any node id under 2^16, so the spaces
+// never collide. Base 0 belongs to the serial/default context.
+const seqSpaceBits = 56
+
+// nodeSeqBits sizes the per-node event counter: node n mints keys
+// (n+1)<<40 | counter, giving every node ≈10^12 events and keeping all
+// node keys above the control simulator's 0-based counter — control events
+// win equal-(time, sub) ties, matching the sharded loop's control-first
+// window order.
+const nodeSeqBits = 40
+
+// nodeSeq mints the per-node event sequence keys described above. One
+// lives in every Host and Switch; its owner's goroutine is the only
+// writer, whether that is the serial loop or the node's shard worker.
+type nodeSeq struct {
+	next uint64
+}
+
+func (n *nodeSeq) init(id int) {
+	n.next = (uint64(id) + 1) << nodeSeqBits
+}
+
+func (n *nodeSeq) mint() uint64 {
+	v := n.next
+	n.next++
+	return v
+}
+
+// shardCtx is the execution context one shard's nodes share: the shard's
+// simulator, packet free list and packet-id counter. Every node and port
+// points at one; an unpartitioned network has a single context whose
+// simulator is Network.Sim.
+type shardCtx struct {
+	nw  *Network
+	sim *des.Simulator
+	idx int
+
+	pktFree []*Packet
+	pktID   uint64
+}
+
+// newPacket returns a zeroed packet from this shard's free list. Pools are
+// per shard, so no locking: a packet allocated here may be freed on the
+// receiving shard's pool after a cross-shard hop (ownership transfers at
+// the mailbox), which only migrates structs between free lists.
+func (c *shardCtx) newPacket() *Packet {
+	if n := len(c.pktFree); n > 0 {
+		pkt := c.pktFree[n-1]
+		c.pktFree[n-1] = nil
+		c.pktFree = c.pktFree[:n-1]
+		pkt.inPool = false
+		return pkt
+	}
+	return &Packet{}
+}
+
+// freePacket recycles a packet into this shard's free list. See
+// Network.FreePacket for the double-free contract.
+func (c *shardCtx) freePacket(pkt *Packet) {
+	if !c.nw.pooling {
+		return
+	}
+	if pkt.inPool {
+		if c.nw.obs != nil {
+			c.nw.obsDoubleFreeAt(c.sim.Now(), pkt)
+		}
+		return
+	}
+	*pkt = Packet{}
+	pkt.inPool = true
+	c.pktFree = append(c.pktFree, pkt)
+}
+
+// nextPacketID hands out ids unique across the whole network: each shard
+// counts within its own (shard+1)<<48 block; the default context counts
+// from zero, so serial runs keep the historical 1,2,3,… sequence.
+func (c *shardCtx) nextPacketID() uint64 {
+	c.pktID++
+	return c.pktID
+}
+
+// mailItem is one cross-shard packet in flight, carrying the full event
+// key minted on the producer shard.
+type mailItem struct {
+	t   des.Time // delivery time at the consumer
+	sub des.Time // producer-side send time
+	seq uint64   // producer-shard sequence number
+	pkt *Packet
+}
+
+// mailbox is the SPSC handoff buffer of one cross-shard directed port:
+// the owner shard's goroutine appends during a window, the coordinator
+// drains between windows (the barrier provides the happens-before edge,
+// so no lock is needed). The item slice is reused across windows, so a
+// warm mailbox allocates nothing. The pushed/drained counters feed the
+// cross-shard byte-conservation invariant.
+type mailbox struct {
+	port *Port // producer edge; delivery handler and audit identity
+
+	items []mailItem
+
+	pushedPkts, drainedPkts   int64
+	pushedBytes, drainedBytes int64
+}
+
+func (mb *mailbox) push(t, sub des.Time, seq uint64, pkt *Packet) {
+	mb.items = append(mb.items, mailItem{t: t, sub: sub, seq: seq, pkt: pkt})
+	mb.pushedPkts++
+	mb.pushedBytes += int64(pkt.Size)
+}
+
+// drain injects every queued item into the consumer shard's heap with its
+// producer-minted key. Runs on the coordinator with all workers parked.
+func (mb *mailbox) drain() {
+	to := mb.port.peerCtx.sim
+	for i := range mb.items {
+		it := &mb.items[i]
+		mb.drainedPkts++
+		mb.drainedBytes += int64(it.pkt.Size)
+		to.InjectAt(it.t, it.sub, it.seq, mb.port, it.pkt)
+		mb.items[i] = mailItem{}
+	}
+	mb.items = mb.items[:0]
+}
+
+// sharding is the per-network state of a partitioned run.
+type sharding struct {
+	nw        *Network
+	loop      *des.ShardedLoop
+	ctxs      []*shardCtx
+	assign    []int // node id → shard
+	mailboxes []*mailbox
+	lookahead des.Duration
+
+	// Telemetry gauges, bound when a metrics registry is attached.
+	gWindows *obs.Gauge
+	gEvents  []*obs.Gauge
+	gBusy    []*obs.Gauge
+	gBarrier []*obs.Gauge
+}
+
+// Shards reports the shard count: 1 for an unpartitioned network.
+func (nw *Network) Shards() int {
+	if nw.shard == nil {
+		return 1
+	}
+	return len(nw.shard.ctxs)
+}
+
+// ShardSizes reports how many nodes each shard owns; nil when serial.
+func (nw *Network) ShardSizes() []int {
+	if nw.shard == nil {
+		return nil
+	}
+	sizes := make([]int, len(nw.shard.ctxs))
+	for _, s := range nw.shard.assign {
+		sizes[s]++
+	}
+	return sizes
+}
+
+// rngBound reports whether the node must stay on the shared-RNG shard:
+// owners of marked queues (RED/PI draws at enqueue/dequeue), of ports with
+// control-jitter draws, and of ports with a fault hook attached (fault
+// plans draw from a plan-private RNG, which the same confinement argument
+// covers) all draw on the datapath.
+func rngBound(n Node) bool {
+	var ports []*Port
+	switch v := n.(type) {
+	case *Host:
+		if v.port != nil {
+			ports = []*Port{v.port}
+		}
+	case *Switch:
+		ports = v.ports
+	}
+	for _, p := range ports {
+		if p.queue.mark != nil || p.CtrlJitterMax > 0 || p.hook != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultAssign computes a node→shard map for the given shard count:
+// every RNG-bound node (see rngBound) is pinned to shard 0, and the rest
+// are ceil-split into contiguous node-id blocks. Per-node event keys make
+// the simulated trajectory independent of the cut, so the split only
+// affects load balance; contiguous blocks keep topology neighbours (and
+// their cache lines) together. Topology-aware cuts (topo.Clos.ShardAssign)
+// minimise cross-shard edges instead and are equally deterministic.
+func DefaultAssign(nw *Network, shards int) []int {
+	n := len(nw.nodes)
+	assign := make([]int, n)
+	free := 0
+	for id, node := range nw.nodes {
+		if rngBound(node) {
+			assign[id] = -1 // pinned marker, resolved to 0 below
+		} else {
+			free++
+		}
+	}
+	if shards > free {
+		shards = free
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	// Ceil-split the unpinned nodes into contiguous blocks.
+	per := (free + shards - 1) / shards
+	if per < 1 {
+		per = 1
+	}
+	i := 0
+	for id := range assign {
+		if assign[id] == -1 {
+			assign[id] = 0
+			continue
+		}
+		assign[id] = i / per
+		i++
+	}
+	return assign
+}
+
+// PartitionByNode splits the network across shard simulators according to
+// assign (node id → shard index). Call it after the topology is built and
+// any fault plan is applied, and before the run starts. Shard indexes must
+// cover 0..max contiguously; a single-shard assignment is a no-op that
+// leaves the network on the serial engine. Constraints checked here:
+//
+//   - every cross-shard link must have a positive propagation delay (the
+//     minimum over them is the conservative lookahead);
+//   - every RNG-bound node must map to one common shard, because marker
+//     and jitter draws consume the shared Network.Rng in event order.
+func (nw *Network) PartitionByNode(assign []int) error {
+	if nw.shard != nil {
+		return fmt.Errorf("netsim: network is already partitioned")
+	}
+	if len(assign) != len(nw.nodes) {
+		return fmt.Errorf("netsim: partition covers %d nodes, network has %d", len(assign), len(nw.nodes))
+	}
+	shards := 0
+	for id, s := range assign {
+		if s < 0 {
+			return fmt.Errorf("netsim: node %d assigned to negative shard %d", id, s)
+		}
+		if s+1 > shards {
+			shards = s + 1
+		}
+	}
+	if shards > len(nw.nodes) {
+		return fmt.Errorf("netsim: %d shards exceed %d nodes", shards, len(nw.nodes))
+	}
+	if shards <= 1 {
+		return nil // serial: keep the byte-identical single-simulator engine
+	}
+	seen := make([]bool, shards)
+	for _, s := range assign {
+		seen[s] = true
+	}
+	for s, ok := range seen {
+		if !ok {
+			return fmt.Errorf("netsim: shard %d owns no nodes", s)
+		}
+	}
+	rngShard := -1
+	for id, node := range nw.nodes {
+		if rngBound(node) {
+			if rngShard == -1 {
+				rngShard = assign[id]
+			} else if assign[id] != rngShard {
+				return fmt.Errorf("netsim: nodes drawing the shared RNG span shards %d and %d; pin them together (see DefaultAssign)", rngShard, assign[id])
+			}
+		}
+	}
+
+	s := &sharding{nw: nw, assign: append([]int(nil), assign...)}
+	s.ctxs = make([]*shardCtx, shards)
+	for i := range s.ctxs {
+		sim := des.New()
+		sim.SetSeqBase(uint64(i+1) << seqSpaceBits)
+		s.ctxs[i] = &shardCtx{nw: nw, sim: sim, idx: i, pktID: uint64(i+1) << seqSpaceBits}
+	}
+	ctxOf := func(n Node) *shardCtx { return s.ctxs[assign[n.ID()]] }
+	for _, node := range nw.nodes {
+		switch v := node.(type) {
+		case *Host:
+			v.ctx = ctxOf(v)
+		case *Switch:
+			v.ctx = ctxOf(v)
+		default:
+			return fmt.Errorf("netsim: node %d (%T) cannot be sharded", node.ID(), node)
+		}
+	}
+	s.lookahead = 0
+	for _, p := range nw.ports {
+		p.ctx = ctxOf(p.owner)
+		p.peerCtx = ctxOf(p.peer)
+		if p.ctx == p.peerCtx {
+			continue
+		}
+		if p.PropDelay <= 0 {
+			return fmt.Errorf("netsim: cross-shard link n%d→n%d has no propagation delay (zero lookahead)", p.owner.ID(), p.peer.ID())
+		}
+		if s.lookahead == 0 || p.PropDelay < s.lookahead {
+			s.lookahead = p.PropDelay
+		}
+		mb := &mailbox{port: p}
+		p.out = mb
+		s.mailboxes = append(s.mailboxes, mb)
+	}
+	if s.lookahead == 0 {
+		// Partitioned but no cross-shard edge: windows are unbounded by
+		// handoff, any large lookahead works.
+		s.lookahead = des.Duration(1) << 60
+	}
+	sims := make([]*des.Simulator, shards)
+	for i, c := range s.ctxs {
+		sims[i] = c.sim
+	}
+	s.loop = &des.ShardedLoop{
+		Control:   nw.Sim,
+		Shards:    sims,
+		Lookahead: s.lookahead,
+		Drain:     s.drainAll,
+	}
+	s.bindObs()
+	nw.shard = s
+	return nil
+}
+
+// Lookahead reports the conservative window bound; 0 when serial.
+func (nw *Network) Lookahead() des.Duration {
+	if nw.shard == nil {
+		return 0
+	}
+	return nw.shard.lookahead
+}
+
+// drainAll moves every queued mailbox item into its consumer heap, in
+// (edge, send-time, seq) order — edges in creation order, items in the
+// order the producer pushed them. The per-event key makes heap order
+// independent of drain order; draining canonically anyway keeps the
+// protocol's stated contract inspectable.
+func (s *sharding) drainAll() {
+	for _, mb := range s.mailboxes {
+		if len(mb.items) > 0 {
+			mb.drain()
+		}
+	}
+	s.updateGauges()
+}
+
+// bindObs registers the shard telemetry instruments when the attached
+// observer carries a metrics registry.
+func (s *sharding) bindObs() {
+	o := s.nw.obs
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Gauge("shard.count").Set(int64(len(s.ctxs)))
+	s.gWindows = o.Metrics.Gauge("shard.windows")
+	for i := range s.ctxs {
+		s.gEvents = append(s.gEvents, o.Metrics.Gauge(fmt.Sprintf("shard.s%d.events", i)))
+		s.gBusy = append(s.gBusy, o.Metrics.Gauge(fmt.Sprintf("shard.s%d.busy_ns", i)))
+		s.gBarrier = append(s.gBarrier, o.Metrics.Gauge(fmt.Sprintf("shard.s%d.barrier_wait_ns", i)))
+	}
+}
+
+// updateGauges publishes the loop's counters; called between windows (live
+// telemetry scrapes see shard imbalance mid-run) and after the run.
+func (s *sharding) updateGauges() {
+	if s.gWindows == nil {
+		return
+	}
+	s.gWindows.Set(int64(s.loop.Windows()))
+	for i := range s.ctxs {
+		st := s.loop.StatAt(i)
+		s.gEvents[i].Set(int64(st.Events))
+		s.gBusy[i].Set(int64(st.Busy))
+		s.gBarrier[i].Set(int64(st.Barrier))
+	}
+}
+
+// ShardStats returns the per-shard execution counters; nil when serial.
+func (nw *Network) ShardStats() []des.ShardStats {
+	if nw.shard == nil {
+		return nil
+	}
+	return nw.shard.loop.Stats()
+}
+
+// ShardWindows reports how many synchronisation windows have run.
+func (nw *Network) ShardWindows() uint64 {
+	if nw.shard == nil {
+		return 0
+	}
+	return nw.shard.loop.Windows()
+}
+
+// RunUntil advances the simulation to end: the serial engine when the
+// network is unpartitioned (identical to nw.Sim.RunUntil), the sharded
+// window loop otherwise. After a sharded run the cross-shard handoff audit
+// feeds the invariant checker, worker goroutines are released, and every
+// simulator clock sits at end.
+func (nw *Network) RunUntil(end des.Time) {
+	if nw.shard == nil {
+		nw.Sim.RunUntil(end)
+		return
+	}
+	s := nw.shard
+	s.loop.RunUntil(end)
+	s.loop.Close()
+	s.updateGauges()
+	s.audit(end)
+}
+
+// audit verifies per-edge byte conservation across every mailbox: all
+// packets pushed by producer shards must have been drained into consumer
+// heaps. An imbalance means the handoff lost or duplicated traffic, which
+// the serial engine cannot do — reported through the invariant checker
+// when one is attached.
+func (s *sharding) audit(now des.Time) {
+	o := s.nw.obs
+	if o == nil || o.Check == nil {
+		return
+	}
+	for _, mb := range s.mailboxes {
+		o.Check.CheckShardEdge(now, s.nw.obsRun,
+			mb.port.owner.ID(), mb.port.peer.ID(),
+			mb.pushedPkts, mb.drainedPkts, mb.pushedBytes, mb.drainedBytes)
+	}
+}

@@ -1,0 +1,258 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"ecndelay/internal/des"
+	"ecndelay/internal/obs"
+)
+
+// shardStar builds the shared fixture: a 4-sender star preloaded with a
+// burst of distinguishable packets, and a receiver transport that logs
+// every delivery as (time, src, seq). The log is the full delivery
+// trajectory — two runs agree iff the engine processed the same events in
+// the same simulated order.
+type delivery struct {
+	at  des.Time
+	src int
+	seq int64
+}
+
+func shardStar(t *testing.T) (*Network, *Star, *[]delivery) {
+	t.Helper()
+	nw := New(1)
+	star := NewStar(nw, StarConfig{
+		Senders: 4,
+		Link:    LinkConfig{Bandwidth: 1.25e9, PropDelay: des.Microsecond},
+	})
+	log := &[]delivery{}
+	star.Receiver.Transport = TransportFunc(func(h *Host, pkt *Packet) {
+		*log = append(*log, delivery{at: h.Now(), src: pkt.Src, seq: pkt.Seq})
+	})
+	for _, s := range star.Senders {
+		for i := 0; i < 20; i++ {
+			s.Send(&Packet{Dst: star.Receiver.ID(), Size: DataMTU, Kind: Data, Seq: int64(i)})
+		}
+	}
+	return nw, star, log
+}
+
+// The sharded engine replays the serial delivery trajectory exactly, for
+// every cut of the node set — including cuts that split the bottleneck
+// switch from every host.
+func TestShardedStarMatchesSerial(t *testing.T) {
+	run := func(assign func(*Network, *Star) []int) []delivery {
+		nw, star, log := shardStar(t)
+		if assign != nil {
+			if err := nw.PartitionByNode(assign(nw, star)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nw.RunUntil(des.Time(10 * des.Millisecond))
+		return *log
+	}
+	serial := run(nil)
+	if len(serial) != 80 {
+		t.Fatalf("serial run delivered %d packets, want 80", len(serial))
+	}
+	cuts := map[string]func(*Network, *Star) []int{
+		"hosts-split": func(nw *Network, star *Star) []int {
+			// Switch and receiver on shard 0, senders fanned over 0..3.
+			assign := make([]int, nw.NodeCount())
+			for i, s := range star.Senders {
+				assign[s.ID()] = i % 4
+			}
+			return assign
+		},
+		"switch-alone": func(nw *Network, star *Star) []int {
+			assign := make([]int, nw.NodeCount())
+			for _, s := range star.Senders {
+				assign[s.ID()] = 1
+			}
+			assign[star.Receiver.ID()] = 1
+			return assign
+		},
+		"default": func(nw *Network, star *Star) []int {
+			return DefaultAssign(nw, 3)
+		},
+	}
+	for name, cut := range cuts {
+		got := run(cut)
+		if len(got) != len(serial) {
+			t.Errorf("%s: %d deliveries, serial had %d", name, len(got), len(serial))
+			continue
+		}
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Errorf("%s: delivery %d = %+v, serial %+v", name, i, got[i], serial[i])
+				break
+			}
+		}
+	}
+}
+
+func TestPartitionByNodeValidation(t *testing.T) {
+	build := func() (*Network, *Star) {
+		nw := New(1)
+		star := NewStar(nw, StarConfig{
+			Senders: 2,
+			Link:    LinkConfig{Bandwidth: 1.25e9, PropDelay: des.Microsecond},
+		})
+		return nw, star
+	}
+
+	t.Run("length-mismatch", func(t *testing.T) {
+		nw, _ := build()
+		if err := nw.PartitionByNode([]int{0, 1}); err == nil || !strings.Contains(err.Error(), "covers") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("negative-shard", func(t *testing.T) {
+		nw, _ := build()
+		if err := nw.PartitionByNode([]int{0, -1, 0, 0}); err == nil || !strings.Contains(err.Error(), "negative") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("empty-shard", func(t *testing.T) {
+		nw, _ := build()
+		if err := nw.PartitionByNode([]int{0, 2, 0, 0}); err == nil || !strings.Contains(err.Error(), "owns no nodes") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("single-shard-noop", func(t *testing.T) {
+		nw, _ := build()
+		if err := nw.PartitionByNode([]int{0, 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+		if nw.Shards() != 1 {
+			t.Fatalf("Shards() = %d after no-op partition", nw.Shards())
+		}
+	})
+	t.Run("double-partition", func(t *testing.T) {
+		nw, _ := build()
+		if err := nw.PartitionByNode([]int{0, 1, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.PartitionByNode([]int{0, 1, 0, 0}); err == nil || !strings.Contains(err.Error(), "already partitioned") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("zero-prop-cross-shard", func(t *testing.T) {
+		nw := New(1)
+		star := NewStar(nw, StarConfig{
+			Senders: 2,
+			Link:    LinkConfig{Bandwidth: 1.25e9, PropDelay: 0},
+		})
+		assign := make([]int, nw.NodeCount())
+		assign[star.Senders[0].ID()] = 1
+		if err := nw.PartitionByNode(assign); err == nil || !strings.Contains(err.Error(), "propagation") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("rng-span", func(t *testing.T) {
+		nw, star := build()
+		star.Senders[0].Port().CtrlJitterMax = des.Microsecond
+		star.Senders[1].Port().CtrlJitterMax = des.Microsecond
+		assign := make([]int, nw.NodeCount())
+		assign[star.Senders[0].ID()] = 0
+		assign[star.Senders[1].ID()] = 1
+		if err := nw.PartitionByNode(assign); err == nil || !strings.Contains(err.Error(), "RNG") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+// DefaultAssign respects RNG pinning and never leaves a shard empty.
+func TestDefaultAssignPinsRNGNodes(t *testing.T) {
+	nw := New(1)
+	star := NewStar(nw, StarConfig{
+		Senders: 4,
+		Link:    LinkConfig{Bandwidth: 1.25e9, PropDelay: des.Microsecond},
+		Mark: func() Marker {
+			return &REDMarker{Kmin: 5 * 1024, Kmax: 200 * 1024, Pmax: 0.01, Rng: nw.Rng}
+		},
+	})
+	_ = star
+	assign := DefaultAssign(nw, 3)
+	rngShard := -1
+	for id, node := range nw.nodes {
+		if rngBound(node) {
+			if rngShard == -1 {
+				rngShard = assign[id]
+			} else if assign[id] != rngShard {
+				t.Fatalf("RNG-bound nodes split across shards %d and %d", rngShard, assign[id])
+			}
+		}
+	}
+	if err := nw.PartitionByNode(assign); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Lookahead is the minimum propagation delay over cross-shard links only.
+func TestLookaheadIsMinCrossShardProp(t *testing.T) {
+	nw := New(1)
+	star := NewStar(nw, StarConfig{
+		Senders: 2,
+		Link:    LinkConfig{Bandwidth: 1.25e9, PropDelay: 2 * des.Microsecond},
+	})
+	// Receiver link is faster; keep it intra-shard so it must not bound
+	// the lookahead.
+	star.Receiver.Port().PropDelay = des.Microsecond
+	star.Switch.portToward(star.Receiver.ID()).PropDelay = des.Microsecond
+	assign := make([]int, nw.NodeCount())
+	assign[star.Senders[0].ID()] = 1
+	assign[star.Senders[1].ID()] = 1
+	if err := nw.PartitionByNode(assign); err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.Lookahead(); got != 2*des.Microsecond {
+		t.Fatalf("lookahead %v, want 2µs (cross-shard links only)", got)
+	}
+}
+
+// A mailbox whose books do not balance is a lost or duplicated packet —
+// something the serial engine cannot do. The audit must trip the
+// shard-handoff invariant. The fixture breaks the counters directly: the
+// real push/drain paths are exercised (and must stay clean) in every
+// sharded run above.
+func TestBrokenMailboxTripsInvariant(t *testing.T) {
+	nw := New(1)
+	o := obs.Full()
+	nw.SetObserver(o)
+	star := NewStar(nw, StarConfig{
+		Senders: 4,
+		Link:    LinkConfig{Bandwidth: 1.25e9, PropDelay: des.Microsecond},
+	})
+	for _, s := range star.Senders {
+		for i := 0; i < 20; i++ {
+			s.Send(&Packet{Dst: star.Receiver.ID(), Size: DataMTU, Kind: Data, Seq: int64(i)})
+		}
+	}
+	assign := make([]int, nw.NodeCount())
+	for i, s := range star.Senders {
+		assign[s.ID()] = 1 + i%2
+	}
+	if err := nw.PartitionByNode(assign); err != nil {
+		t.Fatal(err)
+	}
+	end := des.Time(10 * des.Millisecond)
+	nw.RunUntil(end)
+	if err := o.Check.Err(); err != nil {
+		t.Fatalf("clean sharded run violated invariants: %v", err)
+	}
+	if len(nw.shard.mailboxes) == 0 {
+		t.Fatal("no cross-shard mailboxes in fixture")
+	}
+	mb := nw.shard.mailboxes[0]
+	mb.pushedPkts++
+	mb.pushedBytes += int64(DataMTU)
+	nw.shard.audit(end)
+	if o.Check.Count(obs.InvShardHandoff) == 0 {
+		t.Fatal("imbalanced mailbox did not trip the shard-handoff invariant")
+	}
+	if err := o.Check.Err(); err == nil {
+		t.Fatal("checker reports no error despite handoff violation")
+	}
+}

@@ -26,7 +26,9 @@ func (c PFCConfig) Enabled() bool { return c.PauseBytes > 0 }
 // ECMP hashing (SetECMPRoutes).
 type Switch struct {
 	net     *Network
+	ctx     *shardCtx
 	id      int
+	seq     nodeSeq
 	ports   []*Port
 	routes  map[int]int // destination host id → egress port index
 	ecmp    map[int][]int
@@ -42,8 +44,9 @@ type Switch struct {
 // NewSwitch creates a switch with no ports. Wire it with AddPort and
 // SetRoute (the topology builders do this).
 func (nw *Network) NewSwitch(pfc PFCConfig) *Switch {
-	sw := &Switch{net: nw, routes: make(map[int]int), peerIdx: make(map[int]int), pfc: pfc}
+	sw := &Switch{net: nw, ctx: &nw.def, routes: make(map[int]int), peerIdx: make(map[int]int), pfc: pfc}
 	sw.id = nw.addNode(sw)
+	sw.seq.init(sw.id)
 	return sw
 }
 
@@ -159,13 +162,13 @@ func (sw *Switch) Receive(pkt *Packet) {
 		if p := sw.portToward(pkt.Src); p != nil {
 			p.pause()
 		}
-		sw.net.FreePacket(pkt)
+		sw.ctx.freePacket(pkt)
 		return
 	case Resume:
 		if p := sw.portToward(pkt.Src); p != nil {
 			p.unpause()
 		}
-		sw.net.FreePacket(pkt)
+		sw.ctx.freePacket(pkt)
 		return
 	}
 	idx := sw.EgressIndex(pkt.Src, pkt.Dst, pkt.Flow)
@@ -224,8 +227,8 @@ func (sw *Switch) departed(pkt *Packet) {
 
 func (sw *Switch) sendPFC(portIndex int, kind Kind) {
 	p := sw.ports[portIndex]
-	pkt := sw.net.NewPacket()
-	pkt.ID = sw.net.NextPacketID()
+	pkt := sw.ctx.newPacket()
+	pkt.ID = sw.ctx.nextPacketID()
 	pkt.Flow = -1
 	pkt.Src = sw.id
 	pkt.Dst = p.peer.ID()

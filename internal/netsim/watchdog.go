@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"sync"
+
 	"ecndelay/internal/des"
 )
 
@@ -27,8 +29,14 @@ type PFCWatchdog struct {
 	sim       *des.Simulator
 	threshold des.Duration
 	ports     []*watchedPort
-	storms    int
-	events    []PauseStorm
+
+	// mu guards storms and events: in a sharded run each watched port's
+	// pause bookkeeping fires on its own shard goroutine, and ports on
+	// different shards may record storms concurrently. Per-port state
+	// (watchedPort fields) stays lock-free — only its shard touches it.
+	mu     sync.Mutex
+	storms int
+	events []PauseStorm
 }
 
 // watchedPort is the per-port pause bookkeeping; it is the des.Handler for
@@ -80,25 +88,36 @@ func (wd *PFCWatchdog) WatchSwitch(sw *Switch) {
 func (w *watchedPort) OnEvent(any) {
 	if w.p.paused && !w.stormOpen {
 		w.stormOpen = true
+		w.wd.mu.Lock()
 		w.wd.storms++
+		w.wd.mu.Unlock()
 	}
 }
 
+// onPause/onUnpause run on the port owner's shard, so the check event is
+// scheduled on (and its clock read from) the port's shard simulator — the
+// same simulator as wd.sim in a serial run.
 func (w *watchedPort) onPause() {
-	w.pausedAt = w.wd.sim.Now()
+	w.pausedAt = w.p.ctx.sim.Now()
 	w.pauses++
-	w.check = w.wd.sim.ScheduleHandler(w.wd.threshold, w, nil)
+	if w.p.mint != nil {
+		w.check = w.p.ctx.sim.ScheduleHandlerSeq(w.wd.threshold, w.p.mint.mint(), w, nil)
+	} else {
+		w.check = w.p.ctx.sim.ScheduleHandler(w.wd.threshold, w, nil)
+	}
 }
 
 func (w *watchedPort) onUnpause() {
-	now := w.wd.sim.Now()
+	now := w.p.ctx.sim.Now()
 	w.total += now.Sub(w.pausedAt)
 	w.check.Cancel()
 	if w.stormOpen {
 		w.stormOpen = false
+		w.wd.mu.Lock()
 		w.wd.events = append(w.wd.events, PauseStorm{
 			Port: w.p, Start: w.pausedAt, Duration: now.Sub(w.pausedAt),
 		})
+		w.wd.mu.Unlock()
 	}
 }
 

@@ -220,7 +220,7 @@ func (e *Endpoint) handleData(pkt *netsim.Packet) {
 		e.ctr.RxBytes.Add(int64(pkt.Size))
 	}
 	if pkt.AckReq || pkt.Last {
-		ack := e.host.Net().NewPacket()
+		ack := e.host.AllocPacket()
 		ack.Flow = pkt.Flow
 		ack.Dst = pkt.Src
 		ack.Size = netsim.CtrlSize
@@ -314,7 +314,7 @@ func (e *Endpoint) NewFlow(id int, dst int, size int64, start des.Time, startRat
 	}
 	s := &Sender{e: e, id: id, dst: dst, size: size, startRate: startRate}
 	e.flows[id] = s
-	e.host.Net().Sim.AtHandler(start, s, evStart)
+	e.host.AtHandler(start, s, evStart)
 	return s, nil
 }
 
@@ -384,7 +384,7 @@ func (s *Sender) nextPacket() *netsim.Packet {
 		ackReq = true
 		s.segBytes = 0
 	}
-	pkt := s.e.host.Net().NewPacket()
+	pkt := s.e.host.AllocPacket()
 	pkt.Flow = s.id
 	pkt.Dst = s.dst
 	pkt.Size = int(size)
@@ -428,7 +428,7 @@ func (s *Sender) sendNextPacket() {
 		return
 	}
 	gap := des.DurationFromSeconds(float64(size) / s.rate)
-	s.paceEv = s.e.host.Net().Sim.ScheduleHandler(gap, s, evPacket)
+	s.paceEv = s.e.host.ScheduleHandler(gap, s, evPacket)
 }
 
 // sendBurst implements per-burst pacing: a whole segment is handed to the
@@ -466,7 +466,7 @@ func (s *Sender) sendBurst() {
 		return
 	}
 	gap := des.DurationFromSeconds(float64(burstBytes) / s.rate)
-	s.paceEv = s.e.host.Net().Sim.ScheduleHandler(gap, s, evBurst)
+	s.paceEv = s.e.host.ScheduleHandler(gap, s, evBurst)
 }
 
 // onAck is the completion event: compute the RTT sample and run the rate

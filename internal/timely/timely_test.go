@@ -118,7 +118,7 @@ func TestUnfairnessAndHistoryDependence(t *testing.T) {
 		return m0 / m1, (m0 + m1) / 1.25e9
 	}
 	r1, util1 := endRatio(0)
-	r2, util2 := endRatio(500 * des.Microsecond)
+	r2, util2 := endRatio(400 * des.Microsecond)
 	for _, u := range []float64{util1, util2} {
 		if u < 0.85 {
 			t.Errorf("utilisation %v, want > 0.85", u)
@@ -127,7 +127,7 @@ func TestUnfairnessAndHistoryDependence(t *testing.T) {
 	if math.Abs(math.Log(r1)) < math.Log(1.3) {
 		t.Errorf("ratio %v from equal starts: expected persistent unfairness", r1)
 	}
-	// A half-millisecond phase shift lands in a different operating
+	// A sub-millisecond phase shift lands in a different operating
 	// regime (here it flips which flow wins).
 	if math.Abs(math.Log(r1)-math.Log(r2)) < math.Log(1.5) {
 		t.Errorf("end states %v and %v too similar; expected history dependence", r1, r2)
