@@ -20,12 +20,34 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"ecndelay"
 	"ecndelay/internal/prof"
 )
+
+// shutdownOnSignal drains the telemetry server with a bounded deadline
+// before the process dies on SIGINT/SIGTERM, so in-flight scrapes
+// complete instead of being cut mid-body. The returned stop func
+// detaches the handler on the normal exit path.
+func shutdownOnSignal(srv *ecndelay.TelemetryServer, stderr io.Writer) func() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case s := <-ch:
+			fmt.Fprintf(stderr, "ecnbench: %v: draining telemetry server\n", s)
+			_ = srv.Shutdown(5 * time.Second)
+			os.Exit(1)
+		case <-done:
+		}
+	}()
+	return func() { signal.Stop(ch); close(done) }
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -125,7 +147,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "ecnbench: %v\n", err)
 			return 2
 		}
-		defer srv.Close()
+		defer srv.Shutdown(2 * time.Second)
+		defer shutdownOnSignal(srv, stderr)()
 		fmt.Fprintf(stderr, "ecnbench: serving telemetry on http://%s\n", addr)
 	}
 

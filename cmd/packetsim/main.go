@@ -30,13 +30,30 @@ import (
 	"log"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"ecndelay"
 	"ecndelay/internal/prof"
 )
+
+// shutdownOnSignal drains the telemetry server with a bounded deadline
+// before the process dies on SIGINT/SIGTERM, so in-flight scrapes
+// complete instead of being cut mid-body.
+func shutdownOnSignal(srv *ecndelay.TelemetryServer) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-ch
+		log.Printf("%v: draining telemetry server", s)
+		_ = srv.Shutdown(5 * time.Second)
+		os.Exit(1)
+	}()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -367,7 +384,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer srv.Close()
+		defer srv.Shutdown(2 * time.Second)
+		shutdownOnSignal(srv)
 		log.Printf("serving telemetry on http://%s", addr)
 	}
 

@@ -1,0 +1,214 @@
+// Fleet modes: -coordinator serves the grid as TTL-leased shards on
+// the telemetry port; -worker attaches to a coordinator, rebuilds the
+// grid from the served spec, and streams rows back. The merged
+// checkpoint is byte-identical to a serial -workers 1 run of the same
+// grid flags, whatever workers join, die or reconnect mid-run.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"ecndelay"
+)
+
+// gridSpec captures the grid flags verbatim; workers rebuild the job
+// list from it, so they need no grid flags of their own and a stale
+// binary is caught by the grid-hash check instead of corrupting rows.
+func gridSpec(kind, model, flows, delays, expFlag, seeds string, full bool, shards int) map[string]string {
+	return map[string]string{
+		"kind":   kind,
+		"model":  model,
+		"flows":  flows,
+		"delays": delays,
+		"exp":    expFlag,
+		"seeds":  seeds,
+		"full":   strconv.FormatBool(full),
+		"shards": strconv.Itoa(shards),
+	}
+}
+
+// jobsFromSpec expands a served grid spec through the same builder the
+// serial path uses.
+func jobsFromSpec(spec map[string]string, o *ecndelay.Observer) ([]ecndelay.SweepJob, error) {
+	full, err := strconv.ParseBool(spec["full"])
+	if err != nil {
+		return nil, fmt.Errorf("grid spec: bad full=%q: %v", spec["full"], err)
+	}
+	shards, err := strconv.Atoi(spec["shards"])
+	if err != nil {
+		return nil, fmt.Errorf("grid spec: bad shards=%q: %v", spec["shards"], err)
+	}
+	return buildJobs(spec["kind"], spec["model"], spec["flows"], spec["delays"],
+		spec["exp"], spec["seeds"], full, shards, o)
+}
+
+// shutdownOnSignal drains the telemetry server with a bounded deadline
+// before the process dies on SIGINT/SIGTERM, so in-flight scrapes
+// complete instead of being cut mid-body. The returned stop func
+// detaches the handler on the normal exit path.
+func shutdownOnSignal(srv *ecndelay.TelemetryServer, stderr io.Writer) func() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case s := <-ch:
+			fmt.Fprintf(stderr, "sweep: %v: draining telemetry server\n", s)
+			_ = srv.Shutdown(5 * time.Second)
+			os.Exit(1)
+		case <-done:
+		}
+	}()
+	return func() { signal.Stop(ch); close(done) }
+}
+
+func logfTo(w io.Writer, quiet bool) func(string, ...any) {
+	if quiet {
+		return nil
+	}
+	return func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
+}
+
+// runCoordinator owns the fleet: grid expansion, lease books, the
+// streamed JSONL checkpoint, and the merged telemetry. On completion it
+// finalizes the checkpoint into canonical (serial) row order.
+func runCoordinator(addr string, spec map[string]string, baseSeed int64, ttl time.Duration,
+	shardSize int, out string, resume, quiet bool, stderr io.Writer) int {
+	jobs, err := jobsFromSpec(spec, nil)
+	if err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return 2
+	}
+	ids := make([]string, len(jobs))
+	for i, j := range jobs {
+		ids[i] = j.ID
+	}
+
+	// Load resumable rows before opening the sink: OpenJSONL appends a
+	// healing newline the reader must not see mid-parse.
+	var preloaded []ecndelay.SweepResult
+	if resume {
+		if preloaded, err = ecndelay.ReadSweepResults(out); err != nil {
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
+			return 2
+		}
+	}
+	sink, err := ecndelay.OpenSweepJSONL(out, resume)
+	if err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return 2
+	}
+	defer sink.Close()
+
+	reg := ecndelay.NewMetricsRegistry()
+	hists := ecndelay.NewHistSet()
+	observer := &ecndelay.Observer{Metrics: reg, Hists: hists}
+	coord, err := ecndelay.NewFleetCoordinator(ecndelay.FleetCoordinatorConfig{
+		JobIDs:    ids,
+		Spec:      spec,
+		BaseSeed:  baseSeed,
+		LeaseTTL:  ttl,
+		ShardSize: shardSize,
+		Sink:      sink,
+		Preloaded: preloaded,
+		Metrics:   reg,
+		Hists:     hists,
+		Logf:      logfTo(stderr, quiet),
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return 2
+	}
+	defer coord.Close()
+
+	srv := ecndelay.NewTelemetryServer(observer)
+	coord.Attach(srv)
+	bound, err := srv.Start(addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return 2
+	}
+	defer srv.Shutdown(5 * time.Second)
+	fmt.Fprintf(stderr, "sweep: fleet coordinator serving on http://%s (%d jobs, %d preloaded, shard size %d, lease TTL %v)\n",
+		bound, len(ids), len(preloaded), shardSize, ttl)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case <-coord.Done():
+	case s := <-sig:
+		snap := coord.Snapshot()
+		fmt.Fprintf(stderr, "sweep: %v: stopping with %d/%d jobs checkpointed in %s; restart with -resume to continue\n",
+			s, snap.DoneJobs, snap.TotalJobs, out)
+		_ = srv.Shutdown(5 * time.Second)
+		return 1
+	}
+	if err := coord.SinkErr(); err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return 1
+	}
+	// Rewrite the append-order stream as the canonical index-order file
+	// (byte-identical to a serial -workers 1 run).
+	sink.Close()
+	if err := coord.Finalize(out); err != nil {
+		fmt.Fprintf(stderr, "sweep: finalizing %s: %v\n", out, err)
+		return 1
+	}
+	snap := coord.Snapshot()
+	fmt.Fprintf(stderr, "sweep: fleet complete: %d jobs (%d failed, %d requeued after %d expired leases, %d duplicate rows, %d spooled); finalized %s\n",
+		snap.TotalJobs, snap.FailedJobs, snap.JobsRequeued, snap.LeasesExpired, snap.DuplicateRows, snap.SpooledRows, out)
+
+	// Linger one lease TTL so polling workers hear done:true and exit
+	// cleanly instead of backing off against a vanished coordinator.
+	select {
+	case <-time.After(ttl + 500*time.Millisecond):
+	case <-sig:
+	}
+	if snap.FailedJobs > 0 {
+		fmt.Fprintf(stderr, "sweep: %d of %d jobs failed (see %s)\n", snap.FailedJobs, snap.TotalJobs, out)
+		return 1
+	}
+	return 0
+}
+
+// runWorker attaches to a coordinator and serves leases until the grid
+// is done, spooling rows locally whenever the coordinator is away.
+func runWorker(url, id, spool string, giveUp time.Duration, localWorkers int,
+	timeout time.Duration, retries int, quiet bool, stderr io.Writer) int {
+	if id == "" {
+		id = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	w, err := ecndelay.NewFleetWorker(ecndelay.FleetWorkerConfig{
+		ID:      id,
+		BaseURL: url,
+		Build: func(spec map[string]string) ([]ecndelay.SweepJob, *ecndelay.Observer, error) {
+			// Fresh observer per lease: its counter and histogram deltas
+			// merge cleanly into the coordinator's aggregate.
+			o := &ecndelay.Observer{Metrics: ecndelay.NewMetricsRegistry(), Hists: ecndelay.NewHistSet()}
+			jobs, err := jobsFromSpec(spec, o)
+			return jobs, o, err
+		},
+		Workers:     localWorkers,
+		Timeout:     timeout,
+		Retries:     retries,
+		SpoolPath:   spool,
+		GiveUpAfter: giveUp,
+		Logf:        logfTo(stderr, quiet),
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return 2
+	}
+	if err := w.Run(); err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return 1
+	}
+	return 0
+}

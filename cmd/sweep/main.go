@@ -34,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"ecndelay"
 	"ecndelay/internal/prof"
@@ -72,6 +73,15 @@ func run(args []string, stderr io.Writer) int {
 		invariants  = fs.Bool("invariants", false, "exp: check runtime invariants; violations exit nonzero")
 		histFile    = fs.String("hist", "", "exp: write latency histogram percentiles to this file (.tsv: TSV, else JSONL)")
 		serveAddr   = fs.String("serve", "", "serve live telemetry (/metrics, /progress, pprof) on this host:port")
+
+		failFast  = fs.Bool("fail-fast", false, "stop dispatching new jobs after the first job exhausts its retries (completed rows are kept)")
+		coordAddr = fs.String("coordinator", "", "run as fleet coordinator: serve shard leases and telemetry on this host:port")
+		workerURL = fs.String("worker", "", "run as fleet worker attached to the coordinator at this URL (grid flags come from the coordinator)")
+		workerID  = fs.String("worker-id", "", "fleet worker name (default worker-<pid>)")
+		leaseTTL  = fs.Duration("lease-ttl", 10*time.Second, "coordinator: shard lease TTL; a worker silent this long loses its shard")
+		shardSize = fs.Int("shard-size", 8, "coordinator: jobs per lease")
+		spoolPath = fs.String("spool", "", "worker: local JSONL spool for rows while the coordinator is unreachable")
+		giveUp    = fs.Duration("give-up", 0, "worker: exit once the coordinator has been unreachable this long (0: retry forever)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -86,6 +96,21 @@ func run(args []string, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "sweep: %v\n", err)
 		}
 	}()
+
+	switch {
+	case *coordAddr != "" && *workerURL != "":
+		fmt.Fprintln(stderr, "sweep: -coordinator and -worker are mutually exclusive")
+		return 2
+	case *failFast && (*coordAddr != "" || *workerURL != ""):
+		fmt.Fprintln(stderr, "sweep: -fail-fast is serial-mode only (a fleet records failed rows and keeps going)")
+		return 2
+	case *coordAddr != "":
+		return runCoordinator(*coordAddr,
+			gridSpec(*kind, *model, *flows, *delays, *expFlag, *seeds, *full, *shards),
+			*seed, *leaseTTL, *shardSize, *out, *resume, *quiet, stderr)
+	case *workerURL != "":
+		return runWorker(*workerURL, *workerID, *spoolPath, *giveUp, *workers, *timeout, *retries, *quiet, stderr)
+	}
 
 	// One shared observer serves every job: counters are atomic, the
 	// checker serialises and keeps per-network books, and each job's
@@ -153,7 +178,10 @@ func run(args []string, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "sweep: %v\n", err)
 			return 2
 		}
-		defer srv.Close()
+		// Drain in-flight scrapes on exit and on SIGINT/SIGTERM rather
+		// than dropping them mid-body.
+		defer srv.Shutdown(2 * time.Second)
+		defer shutdownOnSignal(srv, stderr)()
 		fmt.Fprintf(stderr, "sweep: serving telemetry on http://%s\n", addr)
 	}
 
@@ -168,6 +196,7 @@ func run(args []string, stderr io.Writer) int {
 		BaseSeed: *seed,
 		Progress: progress,
 		Status:   status,
+		FailFast: *failFast,
 	}, jobs, sink)
 	if err != nil {
 		fmt.Fprintf(stderr, "sweep: %v\n", err)
@@ -179,6 +208,9 @@ func run(args []string, stderr io.Writer) int {
 		}
 	}
 	if sum.Failed > 0 {
+		if sum.Cancelled > 0 {
+			fmt.Fprintf(stderr, "sweep: fail-fast: %d job(s) left undispatched after the first failure; completed rows are checkpointed in %s\n", sum.Cancelled, *out)
+		}
 		fmt.Fprintf(stderr, "sweep: %d of %d jobs failed (see %s)\n", sum.Failed, sum.Total, *out)
 		return 1
 	}

@@ -1,0 +1,667 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"ecndelay/internal/obs"
+	"ecndelay/internal/sweep"
+)
+
+// CoordinatorConfig parameterises NewCoordinator. JobIDs and Spec are
+// required; everything else has a usable default.
+type CoordinatorConfig struct {
+	// JobIDs is the full grid in stable index order — the same order a
+	// serial sweep would run, which fixes every job's seed.
+	JobIDs []string
+	// Spec is the opaque grid description served to workers; they
+	// rebuild the identical job list from it and verify the hash.
+	Spec map[string]string
+	// BaseSeed is handed to workers for per-job seed derivation.
+	BaseSeed int64
+	// LeaseTTL is how long a silent worker keeps its shard. Default 10s.
+	LeaseTTL time.Duration
+	// ShardSize is the number of jobs per lease. Default 8.
+	ShardSize int
+	// Sink, when non-nil, receives each accepted row exactly once, in
+	// arrival order — the crash-safe streaming checkpoint (normally a
+	// sweep.JSONLSink). Finalize later rewrites the canonical ordering.
+	Sink sweep.Sink
+	// Preloaded rows from a resumed checkpoint. Rows with an empty Err
+	// whose job is in the grid count as done and are not re-leased;
+	// failed and stale rows are ignored (their jobs run again).
+	Preloaded []sweep.Result
+	// Metrics, when non-nil, carries the fleet.* gauges/counters and
+	// receives merged worker counter state.
+	Metrics *obs.Registry
+	// Hists, when non-nil, receives merged worker histogram state.
+	Hists *obs.HistSet
+	// Logf, when non-nil, receives coordinator log lines.
+	Logf func(format string, args ...any)
+}
+
+// shard is one leaseable block of job indices.
+type shard struct {
+	id      int
+	indices []int // still includes done jobs; pruned at lease/requeue
+	worker  string
+	expiry  time.Time
+	leased  bool
+	done    bool
+}
+
+// workerView is the coordinator's book on one worker.
+type workerView struct {
+	lastSeen time.Time
+	shard    int // -1 when none
+	rows     int
+	spooled  int
+}
+
+// Coordinator owns the fleet's source of truth: which jobs have rows,
+// which shards are leased to whom, and when those leases expire. All
+// state is guarded by one mutex; handlers do no blocking work under it
+// except the sink append (a single buffered write).
+type Coordinator struct {
+	cfg      CoordinatorConfig
+	ttl      time.Duration
+	gridHash string
+
+	mu        sync.Mutex
+	idToIndex map[string]int
+	rows      map[int]sweep.Result
+	preloaded int
+	failed    int
+	shards    []*shard
+	queue     []int // shard ids ready to lease, FIFO
+	workers   map[string]*workerView
+	expired   int
+	requeued  int
+	dups      int
+	spooled   int
+	accepted  int
+	sinkErr   error
+	finished  bool
+
+	done chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Snapshot is the aggregated fleet job board /progress serves.
+type Snapshot struct {
+	TotalJobs     int  `json:"total_jobs"`
+	DoneJobs      int  `json:"done_jobs"`
+	PreloadedJobs int  `json:"preloaded_jobs"`
+	FailedJobs    int  `json:"failed_jobs"`
+	ShardsTotal   int  `json:"shards_total"`
+	ShardsDone    int  `json:"shards_done"`
+	ShardsLeased  int  `json:"shards_leased"`
+	ShardsQueued  int  `json:"shards_queued"`
+	LeasesExpired int  `json:"leases_expired"`
+	JobsRequeued  int  `json:"jobs_requeued"`
+	DuplicateRows int  `json:"duplicate_rows"`
+	SpooledRows   int  `json:"spooled_rows"`
+	Done          bool `json:"done"`
+	// Workers is sorted by ID; Live means heard from within one TTL.
+	Workers []WorkerSnapshot `json:"workers"`
+}
+
+// WorkerSnapshot is one worker's liveness row on the job board.
+type WorkerSnapshot struct {
+	ID          string  `json:"id"`
+	Shard       int     `json:"shard"`
+	Rows        int     `json:"rows"`
+	SpooledRows int     `json:"spooled_rows,omitempty"`
+	LastSeenS   float64 `json:"last_seen_s"`
+	Live        bool    `json:"live"`
+}
+
+// NewCoordinator validates the grid and builds the shard queue. It
+// starts a background lease-expiry sweep; Close stops it.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if len(cfg.JobIDs) == 0 {
+		return nil, fmt.Errorf("fleet: empty grid")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	if cfg.ShardSize <= 0 {
+		cfg.ShardSize = 8
+	}
+	c := &Coordinator{
+		cfg:       cfg,
+		ttl:       cfg.LeaseTTL,
+		gridHash:  HashJobIDs(cfg.JobIDs),
+		idToIndex: make(map[string]int, len(cfg.JobIDs)),
+		rows:      make(map[int]sweep.Result, len(cfg.JobIDs)),
+		workers:   make(map[string]*workerView),
+		done:      make(chan struct{}),
+		stop:      make(chan struct{}),
+	}
+	for i, id := range cfg.JobIDs {
+		if id == "" {
+			return nil, fmt.Errorf("fleet: job %d has empty ID", i)
+		}
+		if _, dup := c.idToIndex[id]; dup {
+			return nil, fmt.Errorf("fleet: duplicate job ID %q", id)
+		}
+		c.idToIndex[id] = i
+	}
+	for _, r := range cfg.Preloaded {
+		i, ok := c.idToIndex[r.JobID]
+		if !ok || r.Err != "" {
+			continue // stale or failed checkpoint rows run again
+		}
+		if _, dup := c.rows[i]; dup {
+			continue
+		}
+		c.rows[i] = r
+		c.preloaded++
+	}
+	// Shard only the jobs still missing rows, in index order, so a
+	// resumed fleet leases no completed work.
+	var pending []int
+	for i := range cfg.JobIDs {
+		if _, ok := c.rows[i]; !ok {
+			pending = append(pending, i)
+		}
+	}
+	for len(pending) > 0 {
+		n := cfg.ShardSize
+		if n > len(pending) {
+			n = len(pending)
+		}
+		s := &shard{id: len(c.shards), indices: append([]int(nil), pending[:n]...)}
+		c.shards = append(c.shards, s)
+		c.queue = append(c.queue, s.id)
+		pending = pending[n:]
+	}
+	if len(c.rows) == len(cfg.JobIDs) {
+		c.finished = true
+		close(c.done)
+	}
+	c.updateGaugesLocked()
+
+	c.wg.Add(1)
+	go c.expiryLoop()
+	return c, nil
+}
+
+// expiryLoop periodically reclaims leases of silent workers.
+func (c *Coordinator) expiryLoop() {
+	defer c.wg.Done()
+	period := c.ttl / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.mu.Lock()
+			c.expireLocked(time.Now())
+			c.mu.Unlock()
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// expireLocked reclaims every lapsed lease: unfinished jobs go back on
+// the queue as a (pruned) shard; finished shards just close.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for _, s := range c.shards {
+		if !s.leased || s.done || now.Before(s.expiry) {
+			continue
+		}
+		holder := s.worker
+		s.leased = false
+		s.worker = ""
+		if w := c.workers[holder]; w != nil && w.shard == s.id {
+			w.shard = -1
+		}
+		c.expired++
+		remaining := c.pruneLocked(s)
+		if s.done {
+			c.logf("fleet: lease on shard %d (worker %s) expired with all jobs done", s.id, holder)
+			continue
+		}
+		c.requeued += remaining
+		c.queue = append(c.queue, s.id)
+		c.logf("fleet: lease on shard %d (worker %s) expired, re-queued %d job(s)", s.id, holder, remaining)
+	}
+	c.updateGaugesLocked()
+}
+
+// pruneLocked drops completed jobs from a shard, marks it done when
+// empty, and returns how many jobs remain.
+func (c *Coordinator) pruneLocked(s *shard) int {
+	var left []int
+	for _, i := range s.indices {
+		if _, ok := c.rows[i]; !ok {
+			left = append(left, i)
+		}
+	}
+	s.indices = left
+	if len(left) == 0 {
+		s.done = true
+	}
+	return len(left)
+}
+
+// Acquire leases the next available shard to worker.
+func (c *Coordinator) Acquire(worker string) LeaseResponse {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchLocked(worker, now)
+	c.expireLocked(now)
+	if c.finished {
+		return LeaseResponse{Done: true, Shard: -1}
+	}
+	for len(c.queue) > 0 {
+		s := c.shards[c.queue[0]]
+		c.queue = c.queue[1:]
+		if s.done || s.leased {
+			continue
+		}
+		if c.pruneLocked(s) == 0 {
+			continue
+		}
+		s.leased = true
+		s.worker = worker
+		s.expiry = now.Add(c.ttl)
+		c.workers[worker].shard = s.id
+		c.updateGaugesLocked()
+		c.logf("fleet: leased shard %d (%d jobs) to %s", s.id, len(s.indices), worker)
+		return LeaseResponse{
+			Shard:   s.id,
+			Indices: append([]int(nil), s.indices...),
+			TTLMS:   c.ttl.Milliseconds(),
+		}
+	}
+	retry := c.ttl / 2
+	if retry < 100*time.Millisecond {
+		retry = 100 * time.Millisecond
+	}
+	return LeaseResponse{RetryMS: retry.Milliseconds(), Shard: -1}
+}
+
+// Heartbeat renews worker's lease on shard. It reports false when the
+// lease is no longer held (expired and possibly re-leased) — the worker
+// must stop dispatching that shard's jobs.
+func (c *Coordinator) Heartbeat(worker string, shardID int) bool {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchLocked(worker, now)
+	if shardID < 0 || shardID >= len(c.shards) {
+		return false
+	}
+	s := c.shards[shardID]
+	if !s.leased || s.worker != worker || s.done {
+		return false
+	}
+	s.expiry = now.Add(c.ttl)
+	return true
+}
+
+// Results ingests streamed rows: unknown jobs are rejected, duplicate
+// rows dropped (deterministic re-execution makes them byte-identical),
+// and each first-seen row goes to the sink. Rows are accepted even from
+// expired leases — the work is valid regardless of who still holds the
+// shard.
+func (c *Coordinator) Results(req ResultsRequest) (ResultsResponse, error) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchLocked(req.Worker, now)
+	w := c.workers[req.Worker]
+	var resp ResultsResponse
+	for _, r := range req.Rows {
+		i, ok := c.idToIndex[r.JobID]
+		if !ok {
+			return resp, fmt.Errorf("fleet: row for unknown job %q", r.JobID)
+		}
+		if _, dup := c.rows[i]; dup {
+			resp.Duplicates++
+			c.dups++
+			continue
+		}
+		c.rows[i] = r
+		resp.Accepted++
+		c.accepted++
+		if r.Err != "" {
+			c.failed++
+		}
+		if req.Spooled {
+			c.spooled++
+			w.spooled++
+		}
+		w.rows++
+		if c.cfg.Sink != nil && c.sinkErr == nil {
+			if err := c.cfg.Sink.Write(r); err != nil {
+				c.sinkErr = fmt.Errorf("fleet: sink write for job %q: %w", r.JobID, err)
+				c.logf("%v", c.sinkErr)
+			}
+		}
+	}
+	// Close out any shard these rows completed (usually the posting
+	// worker's, but a spool replay can finish someone else's too).
+	for _, s := range c.shards {
+		if !s.done && s.leased && c.pruneLocked(s) == 0 {
+			s.leased = false
+			if wv := c.workers[s.worker]; wv != nil && wv.shard == s.id {
+				wv.shard = -1
+			}
+			s.worker = ""
+		}
+	}
+	if !c.finished && len(c.rows) == len(c.cfg.JobIDs) {
+		c.finished = true
+		close(c.done)
+		c.logf("fleet: grid complete: %d rows (%d failed, %d requeued, %d duplicate)",
+			len(c.rows), c.failed, c.requeued, c.dups)
+	}
+	c.updateGaugesLocked()
+	return resp, nil
+}
+
+// MergeObs folds a worker's per-shard observability state into the
+// coordinator's registry and histogram set. Counters add, gauges are
+// last-write-wins, histograms merge bucket-wise.
+func (c *Coordinator) MergeObs(req ObsRequest) error {
+	if c.cfg.Metrics != nil {
+		for _, m := range req.Metrics {
+			if m.Name == "" {
+				return fmt.Errorf("fleet: metric with empty name from %q", req.Worker)
+			}
+			if m.Gauge {
+				c.cfg.Metrics.Gauge(m.Name).Set(m.Value)
+			} else {
+				c.cfg.Metrics.Counter(m.Name).Add(m.Value)
+			}
+		}
+	}
+	if c.cfg.Hists != nil {
+		if err := c.cfg.Hists.MergeStates(req.Hists); err != nil {
+			return fmt.Errorf("fleet: merging hists from %q: %w", req.Worker, err)
+		}
+	}
+	return nil
+}
+
+// touchLocked records a sighting of worker.
+func (c *Coordinator) touchLocked(worker string, now time.Time) {
+	w := c.workers[worker]
+	if w == nil {
+		w = &workerView{shard: -1}
+		c.workers[worker] = w
+	}
+	w.lastSeen = now
+}
+
+// Grid describes the grid for connecting workers.
+func (c *Coordinator) Grid() GridInfo {
+	return GridInfo{
+		Spec:       c.cfg.Spec,
+		NumJobs:    len(c.cfg.JobIDs),
+		GridHash:   c.gridHash,
+		BaseSeed:   c.cfg.BaseSeed,
+		LeaseTTLMS: c.ttl.Milliseconds(),
+	}
+}
+
+// Done is closed once every job has a checkpointed row.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Failed reports how many accepted rows carry an error.
+func (c *Coordinator) Failed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failed
+}
+
+// SinkErr reports the first streaming-checkpoint write error, if any.
+func (c *Coordinator) SinkErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sinkErr
+}
+
+// Close stops the expiry loop. It does not touch the sink.
+func (c *Coordinator) Close() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	c.wg.Wait()
+}
+
+// Snapshot captures the fleet job board.
+func (c *Coordinator) Snapshot() Snapshot {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := Snapshot{
+		TotalJobs:     len(c.cfg.JobIDs),
+		DoneJobs:      len(c.rows),
+		PreloadedJobs: c.preloaded,
+		FailedJobs:    c.failed,
+		ShardsTotal:   len(c.shards),
+		LeasesExpired: c.expired,
+		JobsRequeued:  c.requeued,
+		DuplicateRows: c.dups,
+		SpooledRows:   c.spooled,
+		Done:          c.finished,
+	}
+	for _, s := range c.shards {
+		switch {
+		case s.done:
+			snap.ShardsDone++
+		case s.leased:
+			snap.ShardsLeased++
+		default:
+			snap.ShardsQueued++
+		}
+	}
+	for id, w := range c.workers {
+		age := now.Sub(w.lastSeen)
+		snap.Workers = append(snap.Workers, WorkerSnapshot{
+			ID:          id,
+			Shard:       w.shard,
+			Rows:        w.rows,
+			SpooledRows: w.spooled,
+			LastSeenS:   age.Seconds(),
+			Live:        age < c.ttl,
+		})
+	}
+	sort.Slice(snap.Workers, func(i, j int) bool { return snap.Workers[i].ID < snap.Workers[j].ID })
+	return snap
+}
+
+// updateGaugesLocked refreshes the fleet.* instruments.
+func (c *Coordinator) updateGaugesLocked() {
+	r := c.cfg.Metrics
+	if r == nil {
+		return
+	}
+	live := 0
+	now := time.Now()
+	for _, w := range c.workers {
+		if now.Sub(w.lastSeen) < c.ttl {
+			live++
+		}
+	}
+	var leased, queued int
+	for _, s := range c.shards {
+		if s.done {
+			continue
+		}
+		if s.leased {
+			leased++
+		} else {
+			queued++
+		}
+	}
+	r.Gauge("fleet.workers.live").Set(int64(live))
+	r.Gauge("fleet.shards.leased").Set(int64(leased))
+	r.Gauge("fleet.shards.queued").Set(int64(queued))
+	r.Gauge("fleet.jobs.done").Set(int64(len(c.rows)))
+	setCounter(r.Counter("fleet.leases.expired_total"), int64(c.expired))
+	setCounter(r.Counter("fleet.jobs.requeued_total"), int64(c.requeued))
+	setCounter(r.Counter("fleet.rows.accepted_total"), int64(c.accepted))
+	setCounter(r.Counter("fleet.rows.duplicate_total"), int64(c.dups))
+	setCounter(r.Counter("fleet.rows.spooled_total"), int64(c.spooled))
+}
+
+// setCounter advances a counter to an absolute value (counters only
+// expose Add; the coordinator's books are the source of truth).
+func setCounter(ctr *obs.Counter, v int64) {
+	if d := v - ctr.Value(); d > 0 {
+		ctr.Add(d)
+	}
+}
+
+// Rows returns a copy of every accepted row sorted by job index — the
+// canonical serial order.
+func (c *Coordinator) Rows() []sweep.Result {
+	c.mu.Lock()
+	out := make([]sweep.Result, 0, len(c.rows))
+	for _, r := range c.rows {
+		out = append(out, r)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Finalize writes the canonical checkpoint — one row per job in index
+// order, byte-identical to a serial -workers 1 run of the same grid —
+// to path via a temp-file rename, so a crash mid-finalize never
+// truncates the streamed checkpoint. Call after Done (finalizing early
+// writes only the rows gathered so far).
+func (c *Coordinator) Finalize(path string) error {
+	rows := c.Rows()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		b, err := json.Marshal(r)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if _, err := f.Write(append(b, '\n')); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Attach mounts the coordinator's API under /fleet/ on a telemetry
+// server and installs the aggregated job board as its /progress
+// provider. Call before srv.Start.
+func (c *Coordinator) Attach(srv *obs.Server) {
+	srv.Handle("/fleet/grid", http.HandlerFunc(c.handleGrid))
+	srv.Handle("/fleet/lease", http.HandlerFunc(c.handleLease))
+	srv.Handle("/fleet/heartbeat", http.HandlerFunc(c.handleHeartbeat))
+	srv.Handle("/fleet/results", http.HandlerFunc(c.handleResults))
+	srv.Handle("/fleet/obs", http.HandlerFunc(c.handleObs))
+	srv.SetProgress(func() any { return c.Snapshot() })
+}
+
+func (c *Coordinator) handleGrid(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, c.Grid())
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		http.Error(w, "fleet: lease request without worker id", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, c.Acquire(req.Worker))
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if !c.Heartbeat(req.Worker, req.Shard) {
+		http.Error(w, "fleet: lease not held", http.StatusGone)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
+	var req ResultsRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp, err := c.Results(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (c *Coordinator) handleObs(w http.ResponseWriter, r *http.Request) {
+	var req ObsRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if err := c.MergeObs(req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// readJSON decodes a POST body, writing the HTTP error itself on
+// failure.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("fleet: bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,501 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ecndelay/internal/obs"
+	"ecndelay/internal/sweep"
+)
+
+// testJobs builds a deterministic grid: every job's metrics are a pure
+// function of its seed, so any placement of any shard on any worker
+// must reproduce the serial bytes.
+func testJobs(n int, sleep time.Duration, o *obs.NetObserver) []sweep.Job {
+	jobs := make([]sweep.Job, n)
+	for i := range jobs {
+		id := fmt.Sprintf("job-%03d", i)
+		jobs[i] = sweep.Job{
+			ID:   id,
+			Meta: map[string]string{"cell": id},
+			Run: func(seed int64) (map[string]float64, error) {
+				if sleep > 0 {
+					time.Sleep(sleep)
+				}
+				if o != nil {
+					o.Metrics.Counter("jobs.executed_total").Inc()
+					o.Hists.Hist("job.metric").Record(float64(uint64(seed) % 1000))
+				}
+				return map[string]float64{"m": float64(uint64(seed)%1_000_003) * 1e-6}, nil
+			},
+		}
+	}
+	return jobs
+}
+
+func jobIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("job-%03d", i)
+	}
+	return ids
+}
+
+// testBuild is the worker-side grid builder: fresh observer per lease.
+func testBuild(n int, sleep time.Duration) func(map[string]string) ([]sweep.Job, *obs.NetObserver, error) {
+	return func(map[string]string) ([]sweep.Job, *obs.NetObserver, error) {
+		o := &obs.NetObserver{Metrics: obs.NewRegistry(), Hists: obs.NewHistSet()}
+		return testJobs(n, sleep, o), o, nil
+	}
+}
+
+func serialRows(t *testing.T, n int, baseSeed int64) []sweep.Result {
+	t.Helper()
+	var ms sweep.MemorySink
+	if _, err := sweep.Run(sweep.Config{Workers: 1, BaseSeed: baseSeed}, testJobs(n, 0, nil), &ms); err != nil {
+		t.Fatal(err)
+	}
+	return ms.Results()
+}
+
+// startFleet brings up a coordinator with its API mounted on a real
+// telemetry server, as production does.
+func startFleet(t *testing.T, cfg CoordinatorConfig) (*Coordinator, *obs.Server, string) {
+	t.Helper()
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := obs.NewServer(nil)
+	coord.Attach(srv)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); coord.Close() })
+	return coord, srv, "http://" + addr
+}
+
+func marshalRows(t *testing.T, rows []sweep.Result) []byte {
+	t.Helper()
+	b, err := sweep.MarshalResults(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFleetChaosKilledWorkerMatchesSerial is the headline gate at unit
+// level: two workers split a grid, one is "SIGKILLed" mid-shard (it
+// stops heartbeating, delivering and dispatching), and the merged fleet
+// checkpoint must still be byte-identical to a serial -workers 1 run.
+func TestFleetChaosKilledWorkerMatchesSerial(t *testing.T) {
+	const n = 24
+	base := int64(42)
+	serial := serialRows(t, n, base)
+
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "fleet.jsonl")
+	sink, err := sweep.OpenJSONL(ckpt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	coord, _, url := startFleet(t, CoordinatorConfig{
+		JobIDs:    jobIDs(n),
+		Spec:      map[string]string{"n": "24"},
+		BaseSeed:  base,
+		LeaseTTL:  250 * time.Millisecond,
+		ShardSize: 4,
+		Sink:      sink,
+		Logf:      t.Logf,
+	})
+
+	victim, err := NewWorker(WorkerConfig{
+		ID: "victim", BaseURL: url, Build: testBuild(n, 10*time.Millisecond),
+		Workers: 1, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim.testCrashAfterRows = 3
+	survivor, err := NewWorker(WorkerConfig{
+		ID: "survivor", BaseURL: url, Build: testBuild(n, 10*time.Millisecond),
+		Workers: 1, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vErr := make(chan error, 1)
+	sErr := make(chan error, 1)
+	go func() { vErr <- victim.Run() }()
+	go func() { sErr <- survivor.Run() }()
+
+	select {
+	case <-coord.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("fleet never finished: %+v", coord.Snapshot())
+	}
+	if err := <-vErr; !errors.Is(err, errCrashed) {
+		t.Fatalf("victim returned %v, want simulated crash", err)
+	}
+	if err := <-sErr; err != nil {
+		t.Fatalf("survivor failed: %v", err)
+	}
+
+	if got, want := marshalRows(t, coord.Rows()), marshalRows(t, serial); !bytes.Equal(got, want) {
+		t.Fatalf("fleet rows differ from serial run:\nfleet:\n%s\nserial:\n%s", got, want)
+	}
+
+	// Finalize must write the serial file byte-for-byte: rows in index
+	// order, one per job.
+	final := filepath.Join(dir, "final.jsonl")
+	if err := coord.Finalize(final); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for _, r := range serial {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Write(b)
+		want.WriteByte('\n')
+	}
+	got, err := os.ReadFile(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("finalized checkpoint differs from serial file")
+	}
+
+	snap := coord.Snapshot()
+	if snap.LeasesExpired < 1 {
+		t.Errorf("no lease expired despite a killed worker: %+v", snap)
+	}
+	if snap.JobsRequeued < 1 {
+		t.Errorf("no job requeued despite a killed worker: %+v", snap)
+	}
+	if snap.DoneJobs != n || !snap.Done {
+		t.Errorf("job board inconsistent at completion: %+v", snap)
+	}
+}
+
+// TestLeaseExpiryRequeuesShard: a worker that takes a lease and falls
+// silent loses it after the TTL; the shard re-queues intact and the
+// dead worker's heartbeat is refused.
+func TestLeaseExpiryRequeuesShard(t *testing.T) {
+	c, err := NewCoordinator(CoordinatorConfig{
+		JobIDs: jobIDs(8), ShardSize: 8, LeaseTTL: 60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	lease := c.Acquire("a")
+	if lease.Shard != 0 || len(lease.Indices) != 8 {
+		t.Fatalf("unexpected first lease: %+v", lease)
+	}
+	if l2 := c.Acquire("b"); l2.Shard >= 0 || l2.Done || l2.RetryMS <= 0 {
+		t.Fatalf("leased shard handed out twice: %+v", l2)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Snapshot().LeasesExpired == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("lease never expired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if c.Heartbeat("a", lease.Shard) {
+		t.Error("heartbeat on an expired lease succeeded")
+	}
+	l3 := c.Acquire("b")
+	if l3.Shard != lease.Shard || len(l3.Indices) != 8 {
+		t.Fatalf("expired shard not re-leased whole: %+v", l3)
+	}
+	if snap := c.Snapshot(); snap.JobsRequeued != 8 {
+		t.Errorf("requeued %d jobs, want 8", snap.JobsRequeued)
+	}
+}
+
+// TestHeartbeatKeepsLeaseAlive: renewals well inside the TTL hold the
+// lease far past its nominal lifetime.
+func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
+	c, err := NewCoordinator(CoordinatorConfig{
+		JobIDs: jobIDs(4), ShardSize: 4, LeaseTTL: 80 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	lease := c.Acquire("a")
+	for i := 0; i < 15; i++ { // 300ms total, ~4 TTLs
+		time.Sleep(20 * time.Millisecond)
+		if !c.Heartbeat("a", lease.Shard) {
+			t.Fatalf("lease lost after %d renewals", i)
+		}
+	}
+	if snap := c.Snapshot(); snap.LeasesExpired != 0 {
+		t.Errorf("lease expired despite heartbeats: %+v", snap)
+	}
+}
+
+// TestBackoffDelaySchedule pins the reconnect schedule: exponential
+// doubling from base, capped at max, jittered within [0.5, 1.5).
+func TestBackoffDelaySchedule(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	base, max := 100*time.Millisecond, 2*time.Second
+	for attempt := 0; attempt < 12; attempt++ {
+		nominal := base << uint(attempt)
+		if nominal > max || nominal <= 0 {
+			nominal = max
+		}
+		for trial := 0; trial < 50; trial++ {
+			d := backoffDelay(attempt, base, max, rnd)
+			if d < nominal/2 || d >= nominal+nominal/2 {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, nominal/2, nominal+nominal/2)
+			}
+		}
+	}
+}
+
+// TestWorkerSpoolsDuringDisconnectAndReplays forces transient delivery
+// failures: rows must divert to the spool, replay on reconnect, and the
+// merged output must still match serial.
+func TestWorkerSpoolsDuringDisconnectAndReplays(t *testing.T) {
+	const n = 12
+	base := int64(7)
+	serial := serialRows(t, n, base)
+	coord, _, url := startFleet(t, CoordinatorConfig{
+		JobIDs: jobIDs(n), BaseSeed: base, ShardSize: 4,
+		LeaseTTL: 500 * time.Millisecond, Logf: t.Logf,
+	})
+
+	w, err := NewWorker(WorkerConfig{
+		ID: "w", BaseURL: url, Build: testBuild(n, 2*time.Millisecond),
+		Workers: 1, SpoolPath: filepath.Join(t.TempDir(), "spool.jsonl"),
+		BackoffBase: 30 * time.Millisecond, BackoffMax: 200 * time.Millisecond,
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	w.testDeliverErr = func() error {
+		if calls.Add(1) <= 5 {
+			return errors.New("synthetic network fault")
+		}
+		return nil
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-coord.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("fleet never finished: %+v", coord.Snapshot())
+	}
+	if got, want := marshalRows(t, coord.Rows()), marshalRows(t, serial); !bytes.Equal(got, want) {
+		t.Fatalf("rows diverged after a spool round-trip")
+	}
+	if snap := coord.Snapshot(); snap.SpooledRows == 0 {
+		t.Errorf("no rows took the spool path: %+v", snap)
+	}
+}
+
+// TestWorkerGivesUpThenSpoolReattaches is the full permanent-disconnect
+// story: the coordinator dies mid-shard, the worker finishes the shard
+// into its spool and gives up after GiveUpAfter; a fresh coordinator
+// (resumed from the first one's rows) ingests the spool on reattach and
+// the union is byte-identical to serial.
+func TestWorkerGivesUpThenSpoolReattaches(t *testing.T) {
+	const n = 6
+	base := int64(11)
+	serial := serialRows(t, n, base)
+	spool := filepath.Join(t.TempDir(), "spool.jsonl")
+
+	var live sweep.MemorySink
+	coord1, srv1, url1 := startFleet(t, CoordinatorConfig{
+		JobIDs: jobIDs(n), BaseSeed: base, ShardSize: n,
+		LeaseTTL: 300 * time.Millisecond, Sink: &live, Logf: t.Logf,
+	})
+	w1, err := NewWorker(WorkerConfig{
+		ID: "w1", BaseURL: url1, Build: testBuild(n, 20*time.Millisecond),
+		Workers: 1, SpoolPath: spool,
+		BackoffBase: 20 * time.Millisecond, BackoffMax: 80 * time.Millisecond,
+		GiveUpAfter: 250 * time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the coordinator once the first row has landed.
+	go func() {
+		for len(live.Results()) == 0 {
+			time.Sleep(5 * time.Millisecond)
+		}
+		srv1.Close()
+	}()
+	runErr := w1.Run()
+	if runErr == nil || !strings.Contains(runErr.Error(), "giving up") {
+		t.Fatalf("want give-up error, got %v", runErr)
+	}
+	coord1.Close()
+	if _, err := os.Stat(spool); err != nil {
+		t.Fatalf("spool not retained across give-up: %v", err)
+	}
+	preloaded := live.Results()
+	if len(preloaded) == 0 || len(preloaded) == n {
+		t.Fatalf("need a partial first run to test reattach, got %d/%d rows", len(preloaded), n)
+	}
+
+	coord2, _, url2 := startFleet(t, CoordinatorConfig{
+		JobIDs: jobIDs(n), BaseSeed: base, ShardSize: n,
+		LeaseTTL: 300 * time.Millisecond, Preloaded: preloaded, Logf: t.Logf,
+	})
+	w2, err := NewWorker(WorkerConfig{
+		ID: "w2", BaseURL: url2, Build: testBuild(n, 0),
+		Workers: 1, SpoolPath: spool, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-coord2.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("resumed fleet never finished: %+v", coord2.Snapshot())
+	}
+	if got, want := marshalRows(t, coord2.Rows()), marshalRows(t, serial); !bytes.Equal(got, want) {
+		t.Fatalf("reattached rows diverged from serial")
+	}
+	snap := coord2.Snapshot()
+	if snap.SpooledRows == 0 {
+		t.Errorf("spool replay left no trace on the job board: %+v", snap)
+	}
+	if snap.PreloadedJobs != len(preloaded) {
+		t.Errorf("preloaded %d jobs, job board says %d", len(preloaded), snap.PreloadedJobs)
+	}
+	if _, err := os.Stat(spool); !os.IsNotExist(err) {
+		t.Error("spool not deleted after successful replay")
+	}
+}
+
+// TestWorkerRefusesMismatchedGrid: a worker whose flags expand to a
+// different grid must refuse to run rather than corrupt the checkpoint.
+func TestWorkerRefusesMismatchedGrid(t *testing.T) {
+	_, _, url := startFleet(t, CoordinatorConfig{
+		JobIDs: jobIDs(4), BaseSeed: 1, ShardSize: 4, LeaseTTL: time.Second,
+	})
+	w, err := NewWorker(WorkerConfig{
+		ID: "skewed", BaseURL: url, Build: testBuild(5, 0), // 5 jobs != 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := w.Run()
+	if runErr == nil || !strings.Contains(runErr.Error(), "grid mismatch") {
+		t.Fatalf("mismatched grid not refused: %v", runErr)
+	}
+}
+
+// TestResultsDedupeAndRejectUnknown: duplicate rows are dropped (the
+// sink sees each job once), unknown jobs are rejected.
+func TestResultsDedupeAndRejectUnknown(t *testing.T) {
+	var ms sweep.MemorySink
+	c, err := NewCoordinator(CoordinatorConfig{
+		JobIDs: jobIDs(4), ShardSize: 2, LeaseTTL: time.Second, Sink: &ms,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rows := serialRows(t, 4, 0)
+
+	resp, err := c.Results(ResultsRequest{Worker: "a", Rows: rows[:2]})
+	if err != nil || resp.Accepted != 2 || resp.Duplicates != 0 {
+		t.Fatalf("first post: %+v err=%v", resp, err)
+	}
+	resp, err = c.Results(ResultsRequest{Worker: "b", Rows: rows[:2]})
+	if err != nil || resp.Accepted != 0 || resp.Duplicates != 2 {
+		t.Fatalf("duplicate post: %+v err=%v", resp, err)
+	}
+	if _, err := c.Results(ResultsRequest{Worker: "a", Rows: []sweep.Result{{JobID: "nope"}}}); err == nil {
+		t.Error("row for unknown job accepted")
+	}
+	if _, err := c.Results(ResultsRequest{Worker: "a", Rows: rows[2:]}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Error("grid complete but Done not closed")
+	}
+	if got := len(ms.Results()); got != 4 {
+		t.Errorf("sink saw %d rows, want 4 (duplicates must not reach it)", got)
+	}
+	if snap := c.Snapshot(); snap.DuplicateRows != 2 {
+		t.Errorf("job board counts %d duplicates, want 2", snap.DuplicateRows)
+	}
+}
+
+// TestMergeObsFoldsWorkerState: counters add across workers, gauges are
+// last-write-wins, histograms merge bucket-wise.
+func TestMergeObsFoldsWorkerState(t *testing.T) {
+	reg, hs := obs.NewRegistry(), obs.NewHistSet()
+	c, err := NewCoordinator(CoordinatorConfig{
+		JobIDs: jobIDs(2), LeaseTTL: time.Second, Metrics: reg, Hists: hs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	mk := func(counter, gauge int64, samples ...float64) ObsRequest {
+		o := obs.NewHistSet()
+		for _, s := range samples {
+			o.Hist("rtt").Record(s)
+		}
+		return ObsRequest{
+			Worker: "w",
+			Metrics: []obs.Metric{
+				{Name: "jobs.executed_total", Value: counter},
+				{Name: "fleet.depth", Value: gauge, Gauge: true},
+			},
+			Hists: o.States(),
+		}
+	}
+	if err := c.MergeObs(mk(3, 5, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MergeObs(mk(4, 2, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("jobs.executed_total").Value(); got != 7 {
+		t.Errorf("counter = %d, want 7 (3+4)", got)
+	}
+	if got := reg.Gauge("fleet.depth").Value(); got != 2 {
+		t.Errorf("gauge = %d, want 2 (last write)", got)
+	}
+	if got := hs.Hist("rtt").Count(); got != 3 {
+		t.Errorf("hist count = %d, want 3", got)
+	}
+	if err := c.MergeObs(ObsRequest{Worker: "w", Metrics: []obs.Metric{{Value: 1}}}); err == nil {
+		t.Error("nameless metric accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Package fleet distributes a sweep grid over worker processes with
+// fault tolerance as the design center. A Coordinator partitions the
+// grid into shards and hands them out under TTL leases renewed by
+// heartbeat; a Worker pulls a lease, runs its jobs through the sweep
+// engine, and streams checkpoint rows back. The failure model:
+//
+//   - a worker that goes silent (SIGKILL, network partition, hang)
+//     loses its lease when the TTL lapses; the shard's unfinished jobs
+//     re-queue and run elsewhere. Re-execution is safe because per-job
+//     seeds are derived from the stable job index (sweep.DeriveSeed),
+//     so a re-run produces the byte-identical row and the merged fleet
+//     checkpoint equals a serial -workers 1 run;
+//   - a worker that loses its coordinator keeps working: rows spill to
+//     a local JSONL spool, reconnection retries with jittered
+//     exponential backoff, and the spool is re-ingested on reattach
+//     (duplicates are deduped — rows are deterministic, so whichever
+//     copy arrives first is the row);
+//   - a coordinator killed mid-run leaves an append-only JSONL
+//     checkpoint; restarting it with resume re-queues only the missing
+//     jobs.
+//
+// The coordinator's HTTP API rides on the telemetry server (obs.Server
+// Handle), so one port serves leases, /metrics, the aggregated
+// /progress fleet job board, and pprof.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"ecndelay/internal/obs"
+	"ecndelay/internal/sweep"
+)
+
+// Wire shapes for the coordinator's HTTP API. All bodies are JSON.
+// Endpoints (mounted under /fleet/ by Coordinator.Attach):
+//
+//	GET  grid       -> GridInfo
+//	POST lease      LeaseRequest -> LeaseResponse
+//	POST heartbeat  HeartbeatRequest -> 204, or 410 Gone on a lost lease
+//	POST results    ResultsRequest -> ResultsResponse
+//	POST obs        ObsRequest -> 204
+
+// GridInfo describes the coordinator's grid to a connecting worker.
+// The worker rebuilds the job list from Spec and refuses to serve a
+// grid whose job-ID hash differs from its own build — a version or
+// flag mismatch would otherwise silently corrupt the checkpoint.
+type GridInfo struct {
+	// Spec is the opaque grid description (the coordinator cmd's grid
+	// flags, verbatim) the worker feeds to its job builder.
+	Spec map[string]string `json:"spec"`
+	// NumJobs and GridHash fingerprint the expanded grid.
+	NumJobs  int    `json:"num_jobs"`
+	GridHash string `json:"grid_hash"`
+	// BaseSeed is the sweep base seed; per-job seeds derive from it and
+	// the stable job index on whichever worker runs the job.
+	BaseSeed int64 `json:"base_seed"`
+	// LeaseTTLMS is the lease TTL workers must out-heartbeat.
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+}
+
+// LeaseRequest asks for a shard.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse grants a shard, asks the worker to poll later, or
+// reports the grid finished.
+type LeaseResponse struct {
+	// Done: every job has a checkpointed row; the worker should exit.
+	Done bool `json:"done,omitempty"`
+	// RetryMS: no shard is available right now (all leased) but the
+	// grid is not finished; poll again after this many milliseconds.
+	RetryMS int64 `json:"retry_ms,omitempty"`
+	// Shard and Indices identify the leased jobs by stable grid index.
+	Shard   int   `json:"shard"`
+	Indices []int `json:"indices,omitempty"`
+	// TTLMS is the lease TTL; heartbeat well inside it.
+	TTLMS int64 `json:"ttl_ms,omitempty"`
+}
+
+// HeartbeatRequest renews a lease.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+	Shard  int    `json:"shard"`
+}
+
+// ResultsRequest streams completed rows. Workers post rows as jobs
+// finish; Spooled marks rows replayed from a disconnect spool rather
+// than streamed live.
+type ResultsRequest struct {
+	Worker  string         `json:"worker"`
+	Shard   int            `json:"shard"`
+	Spooled bool           `json:"spooled,omitempty"`
+	Rows    []sweep.Result `json:"rows"`
+}
+
+// ResultsResponse acknowledges streamed rows. Duplicates are rows for
+// jobs that already had one (benign: deterministic re-execution after
+// a lease expiry, or a spool replay).
+type ResultsResponse struct {
+	Accepted   int `json:"accepted"`
+	Duplicates int `json:"duplicates"`
+}
+
+// ObsRequest ships a worker's per-shard observability state: counter
+// totals and histogram buckets, both mergeable in any order. Gauges are
+// last-write-wins and purely informational.
+type ObsRequest struct {
+	Worker  string          `json:"worker"`
+	Metrics []obs.Metric    `json:"metrics,omitempty"`
+	Hists   []obs.HistState `json:"hists,omitempty"`
+}
+
+// HashJobIDs fingerprints a job-ID list: FNV-1a over the IDs joined by
+// newlines, order-sensitive. Coordinator and worker must agree on it
+// before any job runs.
+func HashJobIDs(ids []string) string {
+	h := fnv.New64a()
+	for _, id := range ids {
+		h.Write([]byte(id))
+		h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

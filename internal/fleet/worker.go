@@ -1,0 +1,489 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ecndelay/internal/obs"
+	"ecndelay/internal/sweep"
+)
+
+// WorkerConfig parameterises NewWorker. ID, BaseURL and Build are
+// required.
+type WorkerConfig struct {
+	// ID names this worker on the fleet job board and in lease books.
+	ID string
+	// BaseURL is the coordinator's telemetry address, e.g.
+	// "http://127.0.0.1:9090".
+	BaseURL string
+	// Build rebuilds the full job list from the coordinator's grid spec,
+	// wired to a fresh observer whose metrics and histograms are shipped
+	// to the coordinator when the shard completes. It is called once per
+	// lease; the returned observer may be nil.
+	Build func(spec map[string]string) ([]sweep.Job, *obs.NetObserver, error)
+	// Workers, Timeout and Retries tune the local sweep engine per
+	// shard; zero values mean engine defaults.
+	Workers int
+	Timeout time.Duration
+	Retries int
+	// SpoolPath is the local JSONL file rows spill to while the
+	// coordinator is unreachable; it is replayed and deleted on
+	// reconnect. Empty disables spooling (disconnect then loses rows,
+	// which is safe — the lease lapses and the jobs re-run elsewhere).
+	SpoolPath string
+	// BackoffBase and BackoffMax bound the jittered exponential
+	// reconnect schedule. Defaults 100ms and 5s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// GiveUpAfter ends Run with an error once the coordinator has been
+	// unreachable this long; the spool survives for the next attach.
+	// Zero retries forever.
+	GiveUpAfter time.Duration
+	// Logf, when non-nil, receives worker log lines.
+	Logf func(format string, args ...any)
+}
+
+// errCrashed marks a simulated in-process SIGKILL (tests only).
+var errCrashed = errors.New("fleet: worker crashed (simulated)")
+
+// Worker pulls shard leases from a coordinator, runs them through the
+// sweep engine, and streams rows back. Its failure discipline:
+//
+//   - a failed row post spools the row locally and starts the jittered
+//     backoff clock; the shard keeps computing (re-execution elsewhere
+//     would only reproduce the same bytes, so finishing is never waste);
+//   - only an explicit 410 from a heartbeat means the lease is gone —
+//     a network error does not, because the coordinator may still be
+//     counting down the TTL;
+//   - every successful request replays and deletes the spool first, so
+//     reattachment never reorders a row after fresher work.
+type Worker struct {
+	cfg    WorkerConfig
+	client *http.Client
+	rnd    *rand.Rand
+
+	mu         sync.Mutex
+	down       bool
+	downSince  time.Time
+	consecErrs int
+	nextRetry  time.Time
+
+	crashed       atomic.Bool
+	rowsDelivered atomic.Int64
+
+	// testCrashAfterRows, when positive, freezes the worker (heartbeats,
+	// row delivery, job dispatch) after that many rows have been
+	// delivered — an in-process stand-in for SIGKILL in chaos tests.
+	testCrashAfterRows int
+	// testDeliverErr, when non-nil, is consulted before each live row
+	// post; a non-nil return is treated as a transport failure (tests
+	// use it to force the spool path without a real network fault).
+	testDeliverErr func() error
+}
+
+// NewWorker validates cfg and returns a Worker ready to Run.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("fleet: worker needs an ID")
+	}
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("fleet: worker %s needs a coordinator URL", cfg.ID)
+	}
+	if cfg.Build == nil {
+		return nil, fmt.Errorf("fleet: worker %s needs a Build func", cfg.ID)
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 100 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	return &Worker{
+		cfg:    cfg,
+		client: &http.Client{Timeout: 30 * time.Second},
+		rnd:    rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(len(cfg.ID)))),
+	}, nil
+}
+
+// Run serves leases until the coordinator reports the grid done. It
+// returns nil on a completed grid, or an error on a grid mismatch,
+// build failure, or exhausted GiveUpAfter (with the spool retained).
+func (w *Worker) Run() error {
+	var grid GridInfo
+	for {
+		if err := w.getJSON("/fleet/grid", &grid); err != nil {
+			if give := w.noteFailure(err); give != nil {
+				return give
+			}
+			w.sleepUntilRetry()
+			continue
+		}
+		w.noteSuccess()
+		break
+	}
+	if err := w.flushSpool(); err != nil {
+		w.logf("fleet: worker %s: spool replay failed (will retry): %v", w.cfg.ID, err)
+	}
+
+	for {
+		if w.crashed.Load() {
+			return errCrashed
+		}
+		var lease LeaseResponse
+		code, err := w.postJSON("/fleet/lease", LeaseRequest{Worker: w.cfg.ID}, &lease)
+		if err == nil && code != http.StatusOK {
+			err = fmt.Errorf("fleet: lease request: HTTP %d", code)
+		}
+		if err != nil {
+			if give := w.noteFailure(err); give != nil {
+				return give
+			}
+			w.sleepUntilRetry()
+			continue
+		}
+		w.noteSuccess()
+		if err := w.flushSpool(); err != nil {
+			w.logf("fleet: worker %s: spool replay failed (will retry): %v", w.cfg.ID, err)
+		}
+		switch {
+		case lease.Done:
+			w.logf("fleet: worker %s: grid complete, exiting", w.cfg.ID)
+			return nil
+		case lease.Shard < 0:
+			time.Sleep(time.Duration(lease.RetryMS) * time.Millisecond)
+		default:
+			if err := w.runShard(grid, lease); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// runShard executes one leased shard: rebuild + verify the grid,
+// heartbeat in the background, stream rows, then ship observability.
+func (w *Worker) runShard(grid GridInfo, lease LeaseResponse) error {
+	jobs, o, err := w.cfg.Build(grid.Spec)
+	if err != nil {
+		return fmt.Errorf("fleet: worker %s: building grid: %w", w.cfg.ID, err)
+	}
+	ids := make([]string, len(jobs))
+	for i, j := range jobs {
+		ids[i] = j.ID
+	}
+	if h := HashJobIDs(ids); len(jobs) != grid.NumJobs || h != grid.GridHash {
+		return fmt.Errorf("fleet: worker %s: grid mismatch: local %d jobs hash %s, coordinator %d jobs hash %s — refusing to run (version or flag skew would corrupt the checkpoint)",
+			w.cfg.ID, len(jobs), h, grid.NumJobs, grid.GridHash)
+	}
+	w.logf("fleet: worker %s: leased shard %d (%d jobs)", w.cfg.ID, lease.Shard, len(lease.Indices))
+
+	var leaseLost atomic.Bool
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		w.heartbeatLoop(lease, &leaseLost, hbStop)
+	}()
+
+	cfg := sweep.Config{
+		Workers:  w.cfg.Workers,
+		Timeout:  w.cfg.Timeout,
+		Retries:  w.cfg.Retries,
+		BaseSeed: grid.BaseSeed,
+		Stop:     func() bool { return leaseLost.Load() || w.crashed.Load() },
+	}
+	sink := sweep.SinkFunc(func(r sweep.Result) error {
+		w.deliver(lease.Shard, r)
+		return nil // a delivery failure spools; it must not abort the shard
+	})
+	_, runErr := sweep.RunIndexed(cfg, jobs, lease.Indices, sink)
+	close(hbStop)
+	hbWG.Wait()
+	if runErr != nil {
+		return fmt.Errorf("fleet: worker %s: shard %d: %w", w.cfg.ID, lease.Shard, runErr)
+	}
+	if w.crashed.Load() {
+		return errCrashed
+	}
+	if leaseLost.Load() {
+		w.logf("fleet: worker %s: lease on shard %d was reassigned, abandoned remainder", w.cfg.ID, lease.Shard)
+	}
+	w.shipObs(o)
+	return nil
+}
+
+// heartbeatLoop renews the lease at TTL/3 until stopped. Network errors
+// are tolerated (the lease may still be live at the coordinator); only
+// an explicit 410 Gone flips leaseLost.
+func (w *Worker) heartbeatLoop(lease LeaseResponse, leaseLost *atomic.Bool, stop <-chan struct{}) {
+	interval := time.Duration(lease.TTLMS) * time.Millisecond / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if w.crashed.Load() {
+				return // a "killed" worker falls silent
+			}
+			code, err := w.postJSON("/fleet/heartbeat", HeartbeatRequest{Worker: w.cfg.ID, Shard: lease.Shard}, nil)
+			if err != nil {
+				continue
+			}
+			if code == http.StatusGone {
+				leaseLost.Store(true)
+				return
+			}
+		}
+	}
+}
+
+// deliver streams one row to the coordinator, spooling it locally when
+// the coordinator is unreachable (or mid-backoff).
+func (w *Worker) deliver(shard int, r sweep.Result) {
+	if w.testCrashAfterRows > 0 && w.rowsDelivered.Load() >= int64(w.testCrashAfterRows) {
+		w.crashed.Store(true)
+	}
+	if w.crashed.Load() {
+		return // rows from a "killed" worker never arrive anywhere
+	}
+	w.rowsDelivered.Add(1)
+	if w.inBackoff() {
+		w.spool(r)
+		return
+	}
+	if err := w.flushSpool(); err != nil {
+		w.noteFailure(err)
+		w.spool(r)
+		return
+	}
+	var ferr error
+	if w.testDeliverErr != nil {
+		ferr = w.testDeliverErr()
+	}
+	if ferr == nil {
+		var resp ResultsResponse
+		code, err := w.postJSON("/fleet/results", ResultsRequest{
+			Worker: w.cfg.ID, Shard: shard, Rows: []sweep.Result{r},
+		}, &resp)
+		ferr = err
+		if err == nil && code != http.StatusOK {
+			ferr = fmt.Errorf("fleet: results post: HTTP %d", code)
+		}
+	}
+	if ferr != nil {
+		w.noteFailure(ferr)
+		w.spool(r)
+		return
+	}
+	w.noteSuccess()
+}
+
+// spool appends one row to the local spool file (open-write-close per
+// row: a kill mid-write tears at most one line, which replay skips).
+func (w *Worker) spool(r sweep.Result) {
+	if w.cfg.SpoolPath == "" {
+		w.logf("fleet: worker %s: coordinator unreachable and no spool configured; dropping row %s (its job will re-run elsewhere)", w.cfg.ID, r.JobID)
+		return
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		w.logf("fleet: worker %s: spool marshal: %v", w.cfg.ID, err)
+		return
+	}
+	f, err := os.OpenFile(w.cfg.SpoolPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		w.logf("fleet: worker %s: spool open: %v", w.cfg.ID, err)
+		return
+	}
+	_, werr := f.Write(append(b, '\n'))
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		w.logf("fleet: worker %s: spool write: %v %v", w.cfg.ID, werr, cerr)
+	}
+}
+
+// flushSpool replays the spool to the coordinator and deletes it. A nil
+// return means the spool is gone (or was never there).
+func (w *Worker) flushSpool() error {
+	if w.cfg.SpoolPath == "" {
+		return nil
+	}
+	rows, err := sweep.ReadResults(w.cfg.SpoolPath)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	var resp ResultsResponse
+	code, err := w.postJSON("/fleet/results", ResultsRequest{
+		Worker: w.cfg.ID, Shard: -1, Spooled: true, Rows: rows,
+	}, &resp)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("fleet: spool replay: HTTP %d", code)
+	}
+	w.logf("fleet: worker %s: replayed %d spooled row(s): %d accepted, %d duplicate", w.cfg.ID, len(rows), resp.Accepted, resp.Duplicates)
+	return os.Remove(w.cfg.SpoolPath)
+}
+
+// shipObs posts the shard observer's counters and histograms. Failures
+// are logged, not fatal: observability is advisory, rows are the truth.
+func (w *Worker) shipObs(o *obs.NetObserver) {
+	if o == nil || (o.Metrics == nil && o.Hists == nil) {
+		return
+	}
+	req := ObsRequest{Worker: w.cfg.ID}
+	if o.Metrics != nil {
+		req.Metrics = o.Metrics.Snapshot()
+	}
+	if o.Hists != nil {
+		req.Hists = o.Hists.States()
+	}
+	if len(req.Metrics) == 0 && len(req.Hists) == 0 {
+		return
+	}
+	if code, err := w.postJSON("/fleet/obs", req, nil); err != nil {
+		w.logf("fleet: worker %s: obs post failed: %v", w.cfg.ID, err)
+	} else if code != http.StatusNoContent && code != http.StatusOK {
+		w.logf("fleet: worker %s: obs post: HTTP %d", w.cfg.ID, code)
+	}
+}
+
+// noteFailure records a failed exchange, arms the backoff clock, and
+// returns a terminal error once GiveUpAfter is exhausted.
+func (w *Worker) noteFailure(cause error) error {
+	now := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.down {
+		w.down = true
+		w.downSince = now
+		w.logf("fleet: worker %s: coordinator unreachable (%v), backing off", w.cfg.ID, cause)
+	}
+	w.consecErrs++
+	w.nextRetry = now.Add(backoffDelay(w.consecErrs-1, w.cfg.BackoffBase, w.cfg.BackoffMax, w.rnd))
+	if w.cfg.GiveUpAfter > 0 && now.Sub(w.downSince) >= w.cfg.GiveUpAfter {
+		return fmt.Errorf("fleet: worker %s: coordinator unreachable for %v (last error: %v); giving up with spool %s retained",
+			w.cfg.ID, now.Sub(w.downSince).Round(time.Millisecond), cause, w.spoolName())
+	}
+	return nil
+}
+
+// noteSuccess clears the backoff state.
+func (w *Worker) noteSuccess() {
+	w.mu.Lock()
+	if w.down {
+		w.logf("fleet: worker %s: coordinator reachable again after %d attempt(s)", w.cfg.ID, w.consecErrs)
+	}
+	w.down = false
+	w.consecErrs = 0
+	w.nextRetry = time.Time{}
+	w.mu.Unlock()
+}
+
+// inBackoff reports whether the worker is mid-backoff (deliveries spool
+// rather than dial a coordinator known to be down).
+func (w *Worker) inBackoff() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.down && time.Now().Before(w.nextRetry)
+}
+
+// sleepUntilRetry blocks until the backoff clock allows another try.
+func (w *Worker) sleepUntilRetry() {
+	w.mu.Lock()
+	d := time.Until(w.nextRetry)
+	w.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (w *Worker) spoolName() string {
+	if w.cfg.SpoolPath == "" {
+		return "(none)"
+	}
+	return w.cfg.SpoolPath
+}
+
+// backoffDelay computes the nth (0-based) reconnect delay: base*2^n
+// capped at max, then jittered by a uniform factor in [0.5, 1.5) so a
+// fleet of workers that lost the same coordinator desynchronises
+// instead of stampeding it on recovery.
+func backoffDelay(attempt int, base, max time.Duration, rnd *rand.Rand) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return time.Duration((0.5 + rnd.Float64()) * float64(d))
+}
+
+// getJSON fetches BaseURL+path into v.
+func (w *Worker) getJSON(path string, v any) error {
+	resp, err := w.client.Get(w.url(path))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("fleet: GET %s: HTTP %d: %s", path, resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// postJSON posts req to BaseURL+path, decoding the body into resp when
+// non-nil and the status is 200. It returns the status code; transport
+// errors come back as err.
+func (w *Worker) postJSON(path string, req any, resp any) (int, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	r, err := w.client.Post(w.url(path), "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	defer r.Body.Close()
+	if resp != nil && r.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+			return r.StatusCode, err
+		}
+	}
+	return r.StatusCode, nil
+}
+
+func (w *Worker) url(path string) string {
+	base := strings.TrimSuffix(w.cfg.BaseURL, "/")
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	return base + path
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+)
+
+// Portable histogram state. A fleet worker snapshots its per-shard
+// histograms with State, ships them as JSON, and the coordinator folds
+// them into its own set with MergeState. Bucket counts, totals and
+// min/max all commute (the same property Merge relies on in-process),
+// so any arrival order — including replays of the same shard after a
+// worker re-runs it — yields quantiles identical to one shared
+// histogram, as long as each shard's state is merged exactly once.
+
+// HistState is the wire snapshot of one Hist: the sparse non-empty
+// buckets plus the scalar accumulators. Min/Max are only meaningful
+// when Count > 0 (an empty histogram's internal ±Inf sentinels are not
+// JSON-encodable and are omitted).
+type HistState struct {
+	Name    string       `json:"name"`
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	Min     float64      `json:"min,omitempty"`
+	Max     float64      `json:"max,omitempty"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// HistBucket is one non-empty bucket: the internal bucket index and its
+// count. Indices are stable across processes because the bucket layout
+// is a compile-time constant (histMinExp/histMaxExp/HistSub).
+type HistBucket struct {
+	Idx int   `json:"i"`
+	N   int64 `json:"n"`
+}
+
+// State snapshots the histogram for cross-process merge. Safe against
+// concurrent recording; like every mid-run snapshot, bucket counts and
+// totals may each trail by an in-flight observation.
+func (h *Hist) State() HistState {
+	st := HistState{Name: h.name, Count: h.Count(), Sum: h.Sum()}
+	if st.Count > 0 {
+		st.Min, st.Max = h.Min(), h.Max()
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			st.Buckets = append(st.Buckets, HistBucket{Idx: i, N: n})
+		}
+	}
+	return st
+}
+
+// MergeState folds a portable snapshot into h. Malformed snapshots
+// (out-of-range bucket indices, negative counts) are rejected whole, so
+// a bad wire payload cannot corrupt the receiving histogram.
+func (h *Hist) MergeState(st HistState) error {
+	if st.Count < 0 {
+		return fmt.Errorf("obs: hist %q state has negative count %d", st.Name, st.Count)
+	}
+	for _, b := range st.Buckets {
+		if b.Idx < 0 || b.Idx >= len(h.buckets) {
+			return fmt.Errorf("obs: hist %q state has bucket index %d out of range [0,%d)",
+				st.Name, b.Idx, len(h.buckets))
+		}
+		if b.N < 0 {
+			return fmt.Errorf("obs: hist %q state has negative bucket count %d", st.Name, b.N)
+		}
+	}
+	if st.Count == 0 {
+		return nil
+	}
+	for _, b := range st.Buckets {
+		h.buckets[b.Idx].Add(b.N)
+	}
+	h.count.Add(st.Count)
+	atomicAddFloat(&h.sum, st.Sum)
+	atomicMinFloat(&h.min, st.Min)
+	atomicMaxFloat(&h.max, st.Max)
+	return nil
+}
+
+// States snapshots every histogram in the set, sorted by name.
+func (hs *HistSet) States() []HistState {
+	hists := hs.Hists()
+	out := make([]HistState, 0, len(hists))
+	for _, h := range hists {
+		out = append(out, h.State())
+	}
+	return out
+}
+
+// MergeStates folds portable snapshots into the set, creating
+// histograms on first sight of a name. The first malformed snapshot
+// aborts the merge; snapshots before it are already applied.
+func (hs *HistSet) MergeStates(sts []HistState) error {
+	for _, st := range sts {
+		if st.Name == "" {
+			return fmt.Errorf("obs: hist state with empty name")
+		}
+		if math.IsNaN(st.Sum) || math.IsInf(st.Sum, 0) {
+			return fmt.Errorf("obs: hist %q state has non-finite sum", st.Name)
+		}
+		if err := hs.Hist(st.Name).MergeState(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestHistStateRoundTripMatchesMerge proves the wire path (State →
+// JSON → MergeState) is equivalent to the in-process Merge: the
+// property the fleet coordinator relies on when folding worker
+// histograms into its own set.
+func TestHistStateRoundTripMatchesMerge(t *testing.T) {
+	h1, h2 := NewHist("rtt"), NewHist("rtt")
+	for i := 0; i < 500; i++ {
+		h1.Record(1e-6 * float64(i+1))
+		h2.Record(3e-5 * float64(i+1))
+	}
+
+	direct := NewHist("rtt")
+	direct.Merge(h1)
+	direct.Merge(h2)
+
+	wire := NewHist("rtt")
+	for _, src := range []*Hist{h1, h2} {
+		b, err := json.Marshal(src.State())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st HistState
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatal(err)
+		}
+		if err := wire.MergeState(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if wire.Count() != direct.Count() {
+		t.Fatalf("count %d != %d", wire.Count(), direct.Count())
+	}
+	if wire.Min() != direct.Min() || wire.Max() != direct.Max() {
+		t.Fatalf("min/max (%g,%g) != (%g,%g)", wire.Min(), wire.Max(), direct.Min(), direct.Max())
+	}
+	for _, q := range HistQuantiles {
+		if w, d := wire.Quantile(q), direct.Quantile(q); w != d {
+			t.Errorf("q%g: wire %g != direct %g", q, w, d)
+		}
+	}
+	if math.Abs(wire.Sum()-direct.Sum()) > 1e-9*math.Abs(direct.Sum()) {
+		t.Errorf("sum drifted: wire %g direct %g", wire.Sum(), direct.Sum())
+	}
+}
+
+func TestHistStateEmptyIsJSONSafe(t *testing.T) {
+	st := NewHist("empty").State()
+	if st.Count != 0 || st.Min != 0 || st.Max != 0 || len(st.Buckets) != 0 {
+		t.Fatalf("empty state not zeroed: %+v", st)
+	}
+	// The ±Inf internal sentinels must not leak into the JSON encoding.
+	if _, err := json.Marshal(st); err != nil {
+		t.Fatalf("empty state not marshalable: %v", err)
+	}
+	h := NewHist("target")
+	if err := h.MergeState(st); err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != 0 {
+		t.Error("merging an empty state recorded observations")
+	}
+}
+
+func TestHistStateRejectsMalformed(t *testing.T) {
+	h := NewHist("x")
+	h.Record(1)
+	before := h.Count()
+	cases := []HistState{
+		{Name: "x", Count: 1, Buckets: []HistBucket{{Idx: -1, N: 1}}},
+		{Name: "x", Count: 1, Buckets: []HistBucket{{Idx: 1 << 20, N: 1}}},
+		{Name: "x", Count: 1, Buckets: []HistBucket{{Idx: 3, N: -4}}},
+		{Name: "x", Count: -1},
+	}
+	for i, st := range cases {
+		if err := h.MergeState(st); err == nil {
+			t.Errorf("case %d: malformed state accepted", i)
+		}
+	}
+	if h.Count() != before {
+		t.Error("rejected state mutated the histogram")
+	}
+
+	hs := NewHistSet()
+	if err := hs.MergeStates([]HistState{{Name: ""}}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := hs.MergeStates([]HistState{{Name: "y", Count: 1, Sum: math.Inf(1)}}); err == nil {
+		t.Error("non-finite sum accepted")
+	}
+}
+
+func TestHistSetMergeStatesCreatesAndFolds(t *testing.T) {
+	src := NewHistSet()
+	src.Hist("a").Record(2)
+	src.Hist("b").Record(5)
+	src.Hist("b").Record(7)
+
+	dst := NewHistSet()
+	dst.Hist("b").Record(1)
+	if err := dst.MergeStates(src.States()); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.Hist("a").Count(); got != 1 {
+		t.Errorf("hist a count %d, want 1", got)
+	}
+	if got := dst.Hist("b").Count(); got != 3 {
+		t.Errorf("hist b count %d, want 3", got)
+	}
+	if got := dst.Hist("b").Max(); got != 7 {
+		t.Errorf("hist b max %g, want 7", got)
+	}
+}

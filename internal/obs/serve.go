@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -27,6 +28,7 @@ import (
 // opt-in — commands start one only when asked (-serve).
 type Server struct {
 	obs *NetObserver
+	mux *http.ServeMux
 
 	mu       sync.Mutex
 	progress func() any
@@ -38,8 +40,25 @@ type Server struct {
 // NewServer wraps an observer (which may have any subset of facilities
 // attached; absent ones simply export nothing).
 func NewServer(o *NetObserver) *Server {
-	return &Server{obs: o}
+	s := &Server{obs: o, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/progress", s.handleProgress)
+	s.mux.HandleFunc("/probes", s.handleProbes)
+	// Mount pprof explicitly on this private mux; the package's implicit
+	// registration on http.DefaultServeMux is never served.
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
 }
+
+// Handle registers an additional handler on the server's mux, letting
+// embedders (the fleet coordinator's lease API) ride on the telemetry
+// port. Call before Start; duplicate patterns panic, as in
+// net/http.ServeMux.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
 
 // SetProgress installs the /progress provider: a function returning any
 // JSON-marshalable snapshot of live run state (sweep job states, sim
@@ -59,19 +78,8 @@ func (s *Server) Start(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("obs: telemetry listen %s: %w", addr, err)
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/progress", s.handleProgress)
-	mux.HandleFunc("/probes", s.handleProbes)
-	// Mount pprof explicitly on this private mux; the package's implicit
-	// registration on http.DefaultServeMux is never served.
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.ln = ln
-	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.srv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = s.srv.Serve(ln) }()
 	return ln.Addr().String(), nil
 }
@@ -83,6 +91,25 @@ func (s *Server) Close() error {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown drains the server gracefully: it stops accepting new
+// connections, waits up to d for in-flight requests (a /progress scrape,
+// a fleet worker streaming its last checkpoint rows) to finish, then
+// force-closes whatever remains. Interrupted runs call this from their
+// signal handlers so live scrapes complete before the process exits.
+// Safe to call when the server was never started, and after Close.
+func (s *Server) Shutdown(d time.Duration) error {
+	if s.srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		_ = s.srv.Close()
+		return fmt.Errorf("obs: telemetry shutdown: %w", err)
+	}
+	return nil
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -10,7 +10,24 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
+
+// httpGet fetches a URL and returns its body, failing the test on any
+// transport or read error.
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
 
 var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9eE+.i-]+(nf)?$`)
 
@@ -174,5 +191,110 @@ func TestServerWithoutFacilities(t *testing.T) {
 	var sb strings.Builder
 	if err := WritePrometheus(&sb, nil); err != nil || sb.Len() != 0 {
 		t.Errorf("nil observer must export nothing: %q err=%v", sb.String(), err)
+	}
+}
+
+// TestServerHandleMountsExtraRoutes proves embedders can ride on the
+// telemetry mux (the fleet coordinator mounts its lease API this way).
+func TestServerHandleMountsExtraRoutes(t *testing.T) {
+	srv := NewServer(nil)
+	srv.Handle("/fleet/ping", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "pong")
+	}))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	body := httpGet(t, "http://"+addr+"/fleet/ping")
+	if body != "pong" {
+		t.Fatalf("extra route answered %q", body)
+	}
+	// Built-in routes still serve.
+	if _, err := http.Get("http://" + addr + "/metrics"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerShutdownDrainsInFlight: a request already being served must
+// complete during Shutdown, and the deadline must bound a handler that
+// never finishes.
+func TestServerShutdownDrainsInFlight(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	srv := NewServer(nil)
+	srv.Handle("/slow", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(started)
+		<-release
+		fmt.Fprint(w, "done")
+	}))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/slow")
+		if err != nil {
+			got <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		got <- string(b)
+	}()
+	<-started
+	// Release the handler shortly after shutdown begins: the in-flight
+	// request must still be answered.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("graceful shutdown failed: %v", err)
+	}
+	if body := <-got; body != "done" {
+		t.Fatalf("in-flight request dropped during shutdown: %q", body)
+	}
+	// After shutdown, new connections are refused.
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still accepting connections after Shutdown")
+	}
+}
+
+func TestServerShutdownDeadlineBoundsHungHandler(t *testing.T) {
+	started := make(chan struct{})
+	hang := make(chan struct{})
+	defer close(hang)
+	srv := NewServer(nil)
+	srv.Handle("/hang", http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		close(started)
+		<-hang
+	}))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		resp, err := http.Get("http://" + addr + "/hang")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	t0 := time.Now()
+	err = srv.Shutdown(100 * time.Millisecond)
+	if err == nil {
+		t.Fatal("shutdown reported success despite a hung handler")
+	}
+	if d := time.Since(t0); d > 3*time.Second {
+		t.Fatalf("shutdown took %v, deadline not enforced", d)
+	}
+}
+
+func TestServerShutdownWithoutStartIsNoop(t *testing.T) {
+	if err := NewServer(nil).Shutdown(time.Second); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -81,7 +81,11 @@ func (p *progress) finish(sum Summary) {
 	if sum.Elapsed > 0 {
 		rate = float64(sum.Executed) / sum.Elapsed.Seconds()
 	}
-	fmt.Fprintf(p.w, "sweep: %d jobs: %d run, %d skipped, %d failed, %d retried, %d panicked in %s (%.1f jobs/s)\n",
-		sum.Total, sum.Executed, sum.Skipped, sum.Failed, sum.Retried, sum.Panics,
+	cancelled := ""
+	if sum.Cancelled > 0 {
+		cancelled = fmt.Sprintf(", %d cancelled", sum.Cancelled)
+	}
+	fmt.Fprintf(p.w, "sweep: %d jobs: %d run, %d skipped, %d failed, %d retried, %d panicked%s in %s (%.1f jobs/s)\n",
+		sum.Total, sum.Executed, sum.Skipped, sum.Failed, sum.Retried, sum.Panics, cancelled,
 		sum.Elapsed.Round(time.Millisecond), rate)
 }

@@ -113,6 +113,49 @@ func (s *JSONLSink) Write(r Result) error {
 // Close closes the checkpoint file.
 func (s *JSONLSink) Close() error { return s.f.Close() }
 
+// SinkFunc adapts a function to the Sink interface for streaming
+// consumers that track completion elsewhere (the fleet worker streams
+// rows to its coordinator this way). Completed always reports false.
+type SinkFunc func(Result) error
+
+// Completed always reports false: function sinks do not resume.
+func (f SinkFunc) Completed(string) bool { return false }
+
+// Write records one result.
+func (f SinkFunc) Write(r Result) error { return f(r) }
+
+// ReadResults parses a JSONL checkpoint or spool file, returning the
+// last row per job ID in first-seen job order. Blank and torn lines
+// (a kill mid-write leaves at most one) are skipped, mirroring
+// OpenJSONL's resume tolerance. A missing file yields no rows.
+func ReadResults(path string) ([]Result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("sweep: reading checkpoint %s: %w", path, err)
+	}
+	byID := make(map[string]int)
+	var out []Result
+	for _, line := range bytes.Split(b, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var r Result
+		if json.Unmarshal(line, &r) != nil || r.JobID == "" {
+			continue
+		}
+		if i, ok := byID[r.JobID]; ok {
+			out[i] = r
+			continue
+		}
+		byID[r.JobID] = len(out)
+		out = append(out, r)
+	}
+	return out, nil
+}
+
 // MemorySink collects results in memory for callers that post-process
 // a sweep in-process (the cmd front-ends, tests).
 type MemorySink struct {

@@ -355,3 +355,116 @@ func TestProgressOutput(t *testing.T) {
 		t.Errorf("missing summary line in progress output:\n%s", out)
 	}
 }
+
+func TestRunIndexedShardsMatchFullRun(t *testing.T) {
+	jobs := syntheticJobs(12)
+	cfg := Config{Workers: 1, BaseSeed: 99}
+
+	full := &MemorySink{}
+	if _, err := Run(cfg, jobs, full); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same grid split into three shards, executed in scrambled
+	// order, must reproduce the full run byte-for-byte: seeds and
+	// Result.Index come from the global index, not shard position.
+	sharded := &MemorySink{}
+	for _, shard := range [][]int{{8, 9, 10, 11}, {0, 1, 2, 3}, {4, 5, 6, 7}} {
+		sum, err := RunIndexed(cfg, jobs, shard, sharded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Total != len(shard) || sum.Executed != len(shard) {
+			t.Fatalf("shard summary %+v, want %d executed", sum, len(shard))
+		}
+	}
+	want, err := MarshalResults(full.Results())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MarshalResults(sharded.Results())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("sharded rows diverge from full run:\nfull:\n%s\nsharded:\n%s", want, got)
+	}
+}
+
+func TestRunIndexedRejectsBadIndices(t *testing.T) {
+	jobs := syntheticJobs(3)
+	if _, err := RunIndexed(Config{}, jobs, []int{0, 3}, nil); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := RunIndexed(Config{}, jobs, []int{1, 1}, nil); err == nil {
+		t.Error("duplicate index accepted")
+	}
+}
+
+func TestStopCancelsDispatch(t *testing.T) {
+	jobs := syntheticJobs(20)
+	var ran atomic.Int64
+	for i := range jobs {
+		inner := jobs[i].Run
+		jobs[i].Run = func(seed int64) (map[string]float64, error) {
+			ran.Add(1)
+			return inner(seed)
+		}
+	}
+	stopAfter := int64(3)
+	cfg := Config{Workers: 1, Stop: func() bool { return ran.Load() >= stopAfter }}
+	sink := &MemorySink{}
+	sum, err := Run(cfg, jobs, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Cancelled == 0 {
+		t.Errorf("Stop cancelled nothing: %+v", sum)
+	}
+	if sum.Executed+sum.Cancelled != sum.Total {
+		t.Errorf("executed %d + cancelled %d != total %d", sum.Executed, sum.Cancelled, sum.Total)
+	}
+}
+
+func TestFailFastStopsDispatchKeepsCompletedRows(t *testing.T) {
+	const n = 50
+	jobs := syntheticJobs(n)
+	jobs[0].Run = func(int64) (map[string]float64, error) {
+		return nil, fmt.Errorf("poisoned cell")
+	}
+	sink := &MemorySink{}
+	sum, err := Run(Config{Workers: 1, FailFast: true}, jobs, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 1 {
+		t.Fatalf("failed = %d, want 1: %+v", sum.Failed, sum)
+	}
+	// The failure lands on the first result; at most a job or two can
+	// already be in flight per worker before dispatch stops.
+	if sum.Executed > 5 {
+		t.Errorf("fail-fast kept dispatching: %d jobs executed", sum.Executed)
+	}
+	if sum.Cancelled < n-5 {
+		t.Errorf("cancelled only %d of %d jobs", sum.Cancelled, n)
+	}
+	// Every executed job — including the failure — is checkpointed.
+	if got := len(sink.Results()); got != sum.Executed {
+		t.Errorf("sink holds %d rows, summary says %d executed", got, sum.Executed)
+	}
+}
+
+func TestFailFastOffRunsWholeGrid(t *testing.T) {
+	const n = 10
+	jobs := syntheticJobs(n)
+	jobs[0].Run = func(int64) (map[string]float64, error) {
+		return nil, fmt.Errorf("poisoned cell")
+	}
+	sum, err := Run(Config{Workers: 1}, jobs, &MemorySink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Executed != n || sum.Cancelled != 0 {
+		t.Errorf("without FailFast the grid should drain fully: %+v", sum)
+	}
+}
