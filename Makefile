@@ -4,10 +4,11 @@
 GO ?= go
 
 .PHONY: ci build vet fmt test race bench bench-smoke determinism obs-ab \
-	telemetry-smoke obsreport-gate topo-smoke shard-smoke fleet-smoke
+	telemetry-smoke obsreport-gate topo-smoke shard-smoke fleet-smoke \
+	cover hybrid-gate
 
 ci: fmt vet build test race bench-smoke determinism obs-ab telemetry-smoke \
-	obsreport-gate topo-smoke shard-smoke fleet-smoke
+	obsreport-gate topo-smoke shard-smoke fleet-smoke cover hybrid-gate
 
 build:
 	$(GO) build ./...
@@ -170,6 +171,33 @@ fleet-smoke:
 	cmp "$$tmp/serial.jsonl" "$$tmp/fleet.jsonl" \
 		|| { echo "fleet-smoke: merged checkpoint diverged from serial"; exit 1; }; \
 	echo "fleet-smoke: killed worker's shard re-queued; merged checkpoint byte-identical to serial"
+
+# Coverage gate, two levels. internal/hybrid — the layer whose whole job
+# is validating the other layers against the paper's math — carries a
+# hard 85% statement floor. The repo-wide figure (measured with -short,
+# the same profile `make race` uses) is gated by the checked-in ratchet
+# in coverage_ratchet.txt: it must never fall below the recorded value,
+# and a PR that raises coverage should bump the file so the floor only
+# ever moves up.
+cover:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) test -timeout 10m -coverprofile="$$tmp/hybrid.cov" ./internal/hybrid > /dev/null; \
+	hy=$$($(GO) tool cover -func="$$tmp/hybrid.cov" | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	if awk -v got="$$hy" 'BEGIN { exit !(got+0 < 85) }'; then \
+		echo "cover: internal/hybrid $$hy% is below the 85% floor"; exit 1; fi; \
+	$(GO) test -short -timeout 10m -coverprofile="$$tmp/all.cov" ./... > /dev/null; \
+	tot=$$($(GO) tool cover -func="$$tmp/all.cov" | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	floor=$$(cat coverage_ratchet.txt); \
+	if awk -v got="$$tot" -v floor="$$floor" 'BEGIN { exit !(got+0 < floor+0) }'; then \
+		echo "cover: repo-wide $$tot% fell below the ratchet $$floor% (coverage_ratchet.txt)"; exit 1; fi; \
+	echo "cover: internal/hybrid $$hy% (floor 85%), repo-wide $$tot% (ratchet $$floor%)"
+
+# Hybrid oracle gate: the fluid model, the packet simulator and the
+# paper's fixed-point predictions must agree at the four canonical
+# operating points (two per protocol, paper scale). ecnbench exits 1 if
+# any check lands outside its documented tolerance, failing CI.
+hybrid-gate:
+	$(GO) run ./cmd/ecnbench -exp crossval -full
 
 # Perf-trajectory gate: a quick fixed-seed packetsim run must reproduce
 # the checked-in golden latency percentiles within 5%. Regenerate the

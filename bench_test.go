@@ -154,6 +154,20 @@ func BenchmarkClosShuffle(b *testing.B) { benchRunner(b, "closshuffle") }
 // 3-tier Clos (lazy arrival generation).
 func BenchmarkClosLoad(b *testing.B) { benchRunner(b, "closload") }
 
+// ---- Hybrid fluid/packet co-simulation (internal/hybrid, design note
+// "Hybrid fluid-packet coupling" in DESIGN.md) ----
+
+// BenchmarkCrossVal runs the fluid-vs-packet-vs-fixed-point
+// cross-validation at the canonical operating points.
+func BenchmarkCrossVal(b *testing.B) { benchRunner(b, "crossval") }
+
+// BenchmarkHybridWarm runs the warm-vs-cold Clos settle comparison.
+func BenchmarkHybridWarm(b *testing.B) { benchRunner(b, "hybridwarm") }
+
+// BenchmarkHybridBG runs the packet-foreground/fluid-background star
+// against its all-packet reference.
+func BenchmarkHybridBG(b *testing.B) { benchRunner(b, "hybridbg") }
+
 // ---- Sharded engine (internal/des.ShardedLoop, design note "Parallel
 // DES" in DESIGN.md) ----
 
@@ -379,6 +393,7 @@ func TestEveryExperimentHasABenchmark(t *testing.T) {
 		"extmultihop": true, "extpfc": true, "extpi": true,
 		"faultloss": true, "faultcnp": true,
 		"closincast": true, "closshuffle": true, "closload": true,
+		"crossval": true, "hybridwarm": true, "hybridbg": true,
 	}
 	for _, r := range ecndelay.Runners() {
 		if !covered[r.ID] {

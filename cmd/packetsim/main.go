@@ -6,6 +6,15 @@
 //	packetsim -proto timely -n 2 -rates 875e6,375e6
 //	packetsim -proto patched -n 2 -burst
 //
+// Hybrid fluid↔packet co-simulation (internal/hybrid): -warm-start begins
+// the run at the analytic fixed point (rates, α, prefilled bottleneck
+// queue) instead of the cold start, and -bg-flows couples a DCQCN fluid
+// background aggregate to the bottleneck queue so a handful of packet
+// flows can be studied against a large modelled population:
+//
+//	packetsim -proto dcqcn -n 10 -bw 40e9 -warm-start
+//	packetsim -proto dcqcn -n 2 -bw 40e9 -bg-flows 6
+//
 // Multi-core runs shard the node set over worker simulators; the TSV body
 // is identical to the serial engine for any shard count (a sharded run
 // adds one header comment naming the partition):
@@ -79,6 +88,8 @@ func main() {
 		sample     = flag.Float64("sample", 1e-4, "output sampling interval, seconds")
 		rates      = flag.String("rates", "", "comma-separated TIMELY start rates, bytes/s")
 		seed       = flag.Int64("seed", 1, "simulation seed")
+		warmStart  = flag.Bool("warm-start", false, "start endpoints and the bottleneck queue at the analytic fixed point (dcqcn | patched)")
+		bgFlows    = flag.Int("bg-flows", 0, "DCQCN fluid background flows coupled to the bottleneck queue (0: off)")
 
 		lossRate  = flag.Float64("loss", 0, "i.i.d. data loss rate on the bottleneck port")
 		ctrlLoss  = flag.Float64("ctrl-loss", 0, "i.i.d. ack/NACK/CNP loss rate on the receiver NIC")
@@ -237,6 +248,49 @@ func main() {
 		}
 	}
 
+	// Equilibrium warm start (internal/hybrid): solve the analytic fixed
+	// point for this operating point and hand it to the endpoints and the
+	// bottleneck queue below. Go-back-N recovery tracks sequence state the
+	// prefilled segments would bypass, so the two are mutually exclusive.
+	var warm *ecndelay.HybridWarmStart
+	if *warmStart {
+		if *recovery {
+			log.Fatal("-warm-start is incompatible with -recovery (prefilled segments bypass go-back-N tracking)")
+		}
+		if startRates != nil {
+			log.Fatal("-warm-start and -rates both set start rates; pick one")
+		}
+		switch *proto {
+		case "dcqcn":
+			pr := ecndelay.DefaultDCQCNParams(*n)
+			pr.C = bwBytes / ecndelay.DataMTU
+			w, err := ecndelay.SolveDCQCNWarmStart(pr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// The analytic fixed point assumes the extended RED ramp;
+			// the packet marker cliffs to p=1 above Kmax, so a q* past
+			// Kmax prefills above the packet equilibrium and the run
+			// drains through a transient instead of skipping it.
+			if w.FP.Q > pr.Kmax {
+				log.Printf("warm-start: analytic q* (%.0f packets) exceeds RED Kmax (%.0f); "+
+					"this operating point is outside the validated ramp — "+
+					"expect a draining transient (try a higher -bw, e.g. 40e9)",
+					w.FP.Q, pr.Kmax)
+			}
+			warm = w
+		case "patched":
+			cfg := ecndelay.DefaultPatchedTimelyFluidConfig(*n)
+			w, err := ecndelay.SolveTimelyWarmStart(*n, cfg.Delta, cfg.Beta, bwBytes, cfg.TLow, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			warm = w
+		default:
+			log.Fatalf("-warm-start supports -proto dcqcn or patched, not %q", *proto)
+		}
+	}
+
 	rate := make([]func() float64, *n)
 	retx := make([]func() int64, *n)
 	// Protocol-specific probe signals (DCQCN α, TIMELY RTT), registered
@@ -254,6 +308,7 @@ func main() {
 		if _, err := ecndelay.NewDCQCNEndpoint(fab.receiver, p); err != nil {
 			log.Fatal(err)
 		}
+		var senders []*ecndelay.DCQCNSender
 		for i, h := range fab.senders {
 			ep, err := ecndelay.NewDCQCNEndpoint(h, p)
 			if err != nil {
@@ -266,6 +321,12 @@ func main() {
 			rate[i] = s.Rate
 			retx[i] = func() int64 { return s.Recovery().RetxBytes }
 			auxProbes = append(auxProbes, probeSignal{fmt.Sprintf("alpha%d", i), s.Alpha})
+			senders = append(senders, s)
+		}
+		if warm != nil {
+			if err := warm.ApplyDCQCN(senders); err != nil {
+				log.Fatal(err)
+			}
 		}
 	case "timely", "patched":
 		p := ecndelay.DefaultTimelyProtoParams()
@@ -289,6 +350,9 @@ func main() {
 			sr := 0.0
 			if startRates != nil {
 				sr = startRates[i]
+			}
+			if warm != nil {
+				sr = warm.RatesBytes[i]
 			}
 			s, err := ep.NewFlow(i, fab.receiver.ID(), -1, 0, sr)
 			if err != nil {
@@ -389,6 +453,36 @@ func main() {
 		log.Printf("serving telemetry on http://%s", addr)
 	}
 
+	// Warm-start the bottleneck queue and attach the optional fluid
+	// background aggregate before any partitioning: the prefilled segments
+	// are ordinary queued packets, and the aggregate's coupling tick only
+	// runs on the serial engine.
+	if warm != nil {
+		flows := make([]ecndelay.HybridPrefillFlow, *n)
+		for i, h := range fab.senders {
+			flows[i] = ecndelay.HybridPrefillFlow{Flow: i, Src: h.ID(), Dst: fab.receiver.ID()}
+		}
+		warm.Prefill(fab.bottleneck, flows)
+	}
+	var bg *ecndelay.HybridBackgroundAggregate
+	if *bgFlows > 0 {
+		if *proto != "dcqcn" {
+			log.Fatal("-bg-flows needs -proto dcqcn (the aggregate is a DCQCN fluid model)")
+		}
+		if *shards > 1 {
+			log.Fatal("-bg-flows runs serial only: the coupling tick is not sharded")
+		}
+		pr := ecndelay.DefaultDCQCNParams(*bgFlows)
+		pr.C = bwBytes / ecndelay.DataMTU
+		b, err := ecndelay.AttachFluidBackground(fab.bottleneck, ecndelay.HybridBackgroundConfig{
+			Flows: *bgFlows, Par: pr, ColdStart: warm == nil,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bg = b
+	}
+
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 
@@ -417,6 +511,14 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
+	qBytes := func() int { return fab.bottleneck.Queue().Bytes() }
+	if bg != nil {
+		// With a background aggregate the marking view (real + fluid
+		// bytes) is the trajectory of interest; the extra comment keeps
+		// aggregate-free runs byte-identical.
+		fmt.Fprintf(out, "# bg-flows: %d fluid background flows; q_bytes is the combined marking view\n", *bgFlows)
+		qBytes = func() int { return fab.bottleneck.Queue().MarkBytes() }
+	}
 	fmt.Fprint(out, "# t\tq_bytes")
 	for i := 0; i < *n; i++ {
 		fmt.Fprintf(out, "\trate%d", i)
@@ -424,7 +526,7 @@ func main() {
 	fmt.Fprintln(out)
 	nw.Sim.Every(0, ecndelay.DurationFromSeconds(*sample), func() {
 		simNow.Store(math.Float64bits(nw.Sim.Now().Seconds()))
-		fmt.Fprintf(out, "%.6f\t%d", nw.Sim.Now().Seconds(), fab.bottleneck.Queue().Bytes())
+		fmt.Fprintf(out, "%.6f\t%d", nw.Sim.Now().Seconds(), qBytes())
 		for i := 0; i < *n; i++ {
 			fmt.Fprintf(out, "\t%.6g", rate[i]())
 		}

@@ -2,7 +2,7 @@
 // parallel sweep engine, checkpointing one JSONL row per job so an
 // interrupted sweep resumes where it stopped.
 //
-// Two grid kinds exist:
+// Three grid kinds exist:
 //
 //   - pm: phase-margin cells over model × flows × delays — the raw
 //     numbers behind Figures 3 and 11:
@@ -14,6 +14,12 @@
 //
 //     sweep -kind exp -exp fig14,fig15 -seeds 1:8 -full \
 //     -workers 4 -out fct.jsonl -resume
+//
+//   - crossval: the hybrid fluid↔packet cross-validation operating
+//     points, one job each; a row fails if any oracle check lands
+//     outside its tolerance:
+//
+//     sweep -kind crossval -workers 4 -out crossval.jsonl
 //
 // Each row records the job id, its grid coordinates, the derived seed
 // and the experiment's metrics. Re-running with -resume skips every
@@ -50,7 +56,7 @@ func run(args []string, stderr io.Writer) int {
 	var (
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
-		kind       = fs.String("kind", "pm", "grid kind: pm | exp")
+		kind       = fs.String("kind", "pm", "grid kind: pm | exp | crossval")
 		model      = fs.String("model", "dcqcn", "pm: comma list of dcqcn | patched")
 		flows      = fs.String("flows", "1:64", "pm: N range lo:hi or comma list")
 		delays     = fs.String("delays", "1e-6,25e-6,50e-6,85e-6,100e-6", "pm: DCQCN τ* values, seconds")
@@ -373,8 +379,35 @@ func buildJobs(kind, model, flows, delays, expFlag, seeds string, full bool, sha
 			opts.Scale = ecndelay.Full
 		}
 		return ecndelay.ExperimentSweepJobs(ids, opts, seedList)
+	case "crossval":
+		var jobs []ecndelay.SweepJob
+		for _, op := range ecndelay.HybridCIOperatingPoints() {
+			jobs = append(jobs, crossvalJob(op))
+		}
+		return jobs, nil
 	default:
-		return nil, fmt.Errorf("unknown -kind %q (want pm or exp)", kind)
+		return nil, fmt.Errorf("unknown -kind %q (want pm, exp or crossval)", kind)
+	}
+}
+
+// crossvalJob cross-validates one hybrid operating point. The row's
+// metrics are the per-check relative errors; the job fails if any check
+// lands outside its documented tolerance.
+func crossvalJob(op ecndelay.HybridOpPoint) ecndelay.SweepJob {
+	return ecndelay.SweepJob{
+		ID:   fmt.Sprintf("crossval/%s/n%d", op.Proto, op.N),
+		Meta: map[string]string{"proto": op.Proto, "flows": fmt.Sprint(op.N)},
+		Run: func(seed int64) (map[string]float64, error) {
+			res, err := ecndelay.RunHybridCrossVal(op, seed)
+			if err != nil {
+				return nil, err
+			}
+			m := make(map[string]float64, len(res.Checks))
+			for _, c := range res.Checks {
+				m[c.Name+"_rel"] = c.RelErr()
+			}
+			return m, res.Err()
+		},
 	}
 }
 

@@ -51,6 +51,7 @@ import (
 	"ecndelay/internal/fixedpoint"
 	"ecndelay/internal/fleet"
 	"ecndelay/internal/fluid"
+	"ecndelay/internal/hybrid"
 	"ecndelay/internal/netsim"
 	"ecndelay/internal/obs"
 	"ecndelay/internal/ode"
@@ -787,3 +788,81 @@ func NewSweepStatus() *SweepStatus { return sweep.NewStatus() }
 // WritePrometheus renders an observer's instruments in the Prometheus
 // text exposition format (the same body /metrics serves).
 func WritePrometheus(w io.Writer, o *Observer) error { return obs.WritePrometheus(w, o) }
+
+// ---- Hybrid fluid↔packet co-simulation (internal/hybrid) ----
+
+// DataMTU is the data segment size shared by the analytic layer (which
+// counts packets of this many bytes) and the packet simulator.
+const DataMTU = hybrid.MTU
+
+// Hybrid co-simulation types: equilibrium warm starts, fluid background
+// aggregates superimposed on real switch queues, and the fluid-vs-packet
+// cross-validation harness that uses the paper's fixed points as a
+// regression oracle (the "crossval" experiment / CI gate).
+type (
+	// HybridWarmStart carries the analytic operating point in wire units,
+	// ready to apply to packet-sim senders and queues.
+	HybridWarmStart = hybrid.WarmStart
+	// HybridPrefillFlow names one flow identity for queue prefilling.
+	HybridPrefillFlow = hybrid.PrefillFlow
+	// HybridDCQCNScenario is a matched fluid/packet DCQCN operating point.
+	HybridDCQCNScenario = hybrid.DCQCNScenario
+	// HybridTimelyScenario is the patched-TIMELY counterpart.
+	HybridTimelyScenario = hybrid.TimelyScenario
+	// HybridBackgroundConfig sizes a fluid background aggregate.
+	HybridBackgroundConfig = hybrid.BackgroundConfig
+	// HybridBackgroundAggregate is the ODE co-simulated with the packet net.
+	HybridBackgroundAggregate = hybrid.BackgroundAggregate
+	// HybridTolerance bounds acceptable fluid↔packet disagreement.
+	HybridTolerance = hybrid.Tolerance
+	// HybridOpPoint names one cross-validation operating point.
+	HybridOpPoint = hybrid.OpPoint
+	// HybridCheck is one oracle-vs-measured agreement test.
+	HybridCheck = hybrid.Check
+	// HybridResult is the outcome of cross-validating one operating point.
+	HybridResult = hybrid.Result
+	// HybridSettle quantifies time and DES events to steady state.
+	HybridSettle = hybrid.Settle
+)
+
+// NewHybridDCQCNScenario returns the Table 1 operating point for n DCQCN
+// flows on a 40 Gb/s bottleneck, realisable as fluid or packets.
+func NewHybridDCQCNScenario(n int, seed int64) HybridDCQCNScenario {
+	return hybrid.NewDCQCNScenario(n, seed)
+}
+
+// NewHybridTimelyScenario returns the §4.3 patched-TIMELY operating point.
+func NewHybridTimelyScenario(n int, seed int64) HybridTimelyScenario {
+	return hybrid.NewTimelyScenario(n, seed)
+}
+
+// SolveDCQCNWarmStart solves the Theorem 1 fixed point and converts it to
+// wire units for packet-sim warm starting.
+func SolveDCQCNWarmStart(pr DCQCNParams) (*HybridWarmStart, error) {
+	return hybrid.DCQCNWarmStart(pr)
+}
+
+// SolveTimelyWarmStart builds the Eq. 31 patched-TIMELY warm start; qPrime
+// <= 0 uses the default C·T_low.
+func SolveTimelyWarmStart(n int, delta, beta, c, tLow, qPrime float64) (*HybridWarmStart, error) {
+	return hybrid.TimelyWarmStart(n, delta, beta, c, tLow, qPrime)
+}
+
+// AttachFluidBackground couples a fluid background aggregate to port's
+// queue; call before running the network.
+func AttachFluidBackground(port *Port, cfg HybridBackgroundConfig) (*HybridBackgroundAggregate, error) {
+	return hybrid.AttachBackground(port, cfg)
+}
+
+// DefaultHybridTolerance returns the bounds the crossval CI gate enforces.
+func DefaultHybridTolerance() HybridTolerance { return hybrid.DefaultTolerance() }
+
+// HybridCIOperatingPoints returns the operating points the crossval CI
+// gate covers (two per protocol).
+func HybridCIOperatingPoints() []HybridOpPoint { return hybrid.CIOperatingPoints() }
+
+// RunHybridCrossVal cross-validates one operating point with the default
+// tolerances; use the Result's Err for the verdict.
+func RunHybridCrossVal(op HybridOpPoint, seed int64) (HybridResult, error) {
+	return hybrid.RunOp(op, seed)
+}

@@ -8,6 +8,7 @@ package dcqcn
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"ecndelay/internal/des"
 	"ecndelay/internal/netsim"
@@ -249,6 +250,10 @@ type Sender struct {
 	done    bool
 	started bool
 
+	// Warm-start operating point (internal/hybrid); applied by start().
+	warm                      bool
+	warmRC, warmRT, warmAlpha float64
+
 	// Go-back-N recovery state (Params.Recovery only).
 	acked        int64 // cumulative acknowledged bytes
 	maxSent      int64 // high-water mark of the send cursor
@@ -330,6 +335,16 @@ func (s *Sender) TargetRate() float64 { return s.rt }
 // Alpha returns the current α.
 func (s *Sender) Alpha() float64 { return s.alpha }
 
+// WarmStart arranges for the flow to begin at the given operating point —
+// current rate rc, target rate rt (bytes/s) and α — instead of the cold
+// line-rate/α=1 defaults. Call before the flow's start time; it has no
+// effect on a flow that already started. Rates are clamped to
+// [MinRate, line rate] and α to [0, 1] when the flow starts.
+func (s *Sender) WarmStart(rc, rt, alpha float64) {
+	s.warm = true
+	s.warmRC, s.warmRT, s.warmAlpha = rc, rt, alpha
+}
+
 // Done reports whether all bytes have been handed to the NIC.
 func (s *Sender) Done() bool { return s.done }
 
@@ -344,6 +359,21 @@ func (s *Sender) start() {
 	s.rc = s.e.host.LineRate()
 	s.rt = s.rc
 	s.alpha = 1
+	if s.warm {
+		line := s.e.host.LineRate()
+		clamp := func(r float64) float64 {
+			switch {
+			case r < s.e.p.MinRate:
+				return s.e.p.MinRate
+			case r > line:
+				return line
+			}
+			return r
+		}
+		s.rc = clamp(s.warmRC)
+		s.rt = clamp(s.warmRT)
+		s.alpha = math.Min(math.Max(s.warmAlpha, 0), 1)
+	}
 	s.armAlphaTimer()
 	s.armRateTimer()
 	s.sendNext()

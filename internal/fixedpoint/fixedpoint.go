@@ -74,21 +74,67 @@ type DCQCNParams struct {
 	TauStar  float64 // control loop (feedback) delay τ*, s
 }
 
-// Validate reports whether the parameters are physically meaningful.
+// Physical range limits Validate enforces. They are generous — orders of
+// magnitude beyond any datacenter operating point — but finite: the Eq. 11
+// residual and the Eq. 9/10 fixed-point algebra are only guaranteed
+// NaN-free and overflow-free inside these bounds (subnormal timers can
+// drive the residual to 0/0, and a Pmax below ~1e-6 with a Kmax near 1e12
+// overflows q*; both found by FuzzDCQCNValidateSolve).
+const (
+	MaxFlows   = 1e9  // N
+	MinRate    = 1e-3 // C, RAI, packets/s
+	MaxRate    = 1e12 // C, RAI, packets/s (8 Pb/s at 1 KB packets)
+	MinTimer   = 1e-9 // Tau, TauPrime, T, s
+	MaxTimer   = 10.0 // Tau, TauPrime, T, TauStar, s
+	MinPackets = 1e-6 // B
+	MaxPackets = 1e12 // B, Kmin, Kmax
+	MinPmax    = 1e-6
+	MaxStages  = 1e3 // F
+)
+
+// Validate reports whether the parameters are physically meaningful. Every
+// float must be finite: NaN compares false against any threshold, so without
+// the explicit check a NaN capacity or timer would sail through the range
+// tests below and poison the Eq. 11 bisection (found by FuzzDCQCNValidateSolve).
+// The magnitude bounds guarantee SolveDCQCN neither panics nor returns a
+// non-finite "fixed point" on any accepted input — the contract the fuzz
+// test pins.
 func (p DCQCNParams) Validate() error {
+	for _, v := range []float64{p.C, p.RAI, p.Tau, p.TauPrime, p.T, p.B, p.F,
+		p.Kmin, p.Kmax, p.Pmax, p.G, p.TauStar} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return errors.New("dcqcn params: all parameters must be finite")
+		}
+	}
 	switch {
 	case p.N <= 0:
 		return errors.New("dcqcn params: N must be positive")
+	case float64(p.N) > MaxFlows:
+		return errors.New("dcqcn params: N is beyond any physical fabric")
 	case p.C <= 0, p.RAI <= 0:
 		return errors.New("dcqcn params: rates must be positive")
+	case p.C < MinRate, p.C > MaxRate, p.RAI < MinRate, p.RAI > MaxRate:
+		return errors.New("dcqcn params: rates must be physical (packets/s)")
 	case p.Tau <= 0, p.TauPrime <= 0, p.T <= 0:
 		return errors.New("dcqcn params: timers must be positive")
+	case p.Tau < MinTimer, p.Tau > MaxTimer,
+		p.TauPrime < MinTimer, p.TauPrime > MaxTimer,
+		p.T < MinTimer, p.T > MaxTimer:
+		return errors.New("dcqcn params: timers must be physical (seconds)")
+	case p.TauStar < 0 || p.TauStar > MaxTimer:
+		return errors.New("dcqcn params: feedback delay must be in [0, MaxTimer]")
 	case p.B <= 0, p.F <= 0:
 		return errors.New("dcqcn params: byte counter and F must be positive")
+	case p.B < MinPackets, p.B > MaxPackets, p.F > MaxStages:
+		return errors.New("dcqcn params: byte counter or F beyond physical range")
 	case p.Kmax <= p.Kmin, p.Kmin < 0:
 		return errors.New("dcqcn params: need 0 <= Kmin < Kmax")
+	case p.Kmax > MaxPackets:
+		return errors.New("dcqcn params: Kmax beyond physical range")
 	case p.Pmax <= 0 || p.Pmax > 1:
 		return errors.New("dcqcn params: Pmax must be in (0,1]")
+	case p.Pmax < MinPmax:
+		return errors.New("dcqcn params: Pmax below the solvable range")
 	case p.G <= 0 || p.G >= 1:
 		return errors.New("dcqcn params: g must be in (0,1)")
 	}

@@ -1,0 +1,89 @@
+package fixedpoint
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDCQCNValidateSolve drives SolveDCQCN with arbitrary Table 1
+// parameters. The contract under test mirrors internal/fault's
+// FuzzPlanValidateApply: Validate classifies every input as ok or error
+// without panicking, SolveDCQCN never panics, it refuses exactly what
+// Validate rejects, and on every accepted input it returns either a clean
+// bracketing error or a finite, internally consistent fixed point — never
+// a NaN/Inf "success". (This contract is why Validate carries magnitude
+// bounds: subnormal timers drive the Eq. 11 residual to 0/0, and a Pmax
+// below ~1e-6 with Kmax near 1e12 overflows the Eq. 9 queue.)
+//
+// Run the seed corpus with go test; explore with:
+//
+//	go test ./internal/fixedpoint -fuzz FuzzDCQCNValidateSolve -fuzztime 30s
+func FuzzDCQCNValidateSolve(f *testing.F) {
+	// Table 1 defaults for 2 and 10 flows (40 Gb/s, 1 KB packets).
+	f.Add(2, 5e6, 40.0, 55e-6, 55e-6, 1.5e-3, 10e6/8e3, 5.0, 5.0, 200.0, 0.01, 1.0/256, 4e-6)
+	f.Add(10, 5e6, 40.0, 55e-6, 55e-6, 1.5e-3, 10e6/8e3, 5.0, 5.0, 200.0, 0.01, 1.0/256, 4e-6)
+	// Zero flows: must be rejected.
+	f.Add(0, 5e6, 40.0, 55e-6, 55e-6, 1.5e-3, 1250.0, 5.0, 5.0, 200.0, 0.01, 1.0/256, 4e-6)
+	// NaN capacity: must be rejected (NaN sails through range checks).
+	f.Add(2, math.NaN(), 40.0, 55e-6, 55e-6, 1.5e-3, 1250.0, 5.0, 5.0, 200.0, 0.01, 1.0/256, 4e-6)
+	// Infinite RAI: must be rejected.
+	f.Add(2, 5e6, math.Inf(1), 55e-6, 55e-6, 1.5e-3, 1250.0, 5.0, 5.0, 200.0, 0.01, 1.0/256, 4e-6)
+	// Subnormal CNP timer: residual goes 0/0 without the magnitude bounds.
+	f.Add(2, 5e6, 40.0, 5e-324, 55e-6, 1.5e-3, 1250.0, 5.0, 5.0, 200.0, 0.01, 1.0/256, 4e-6)
+	// Tiny Pmax with huge Kmax: Eq. 9 queue overflows without the bounds.
+	f.Add(2, 5e6, 40.0, 55e-6, 55e-6, 1.5e-3, 1250.0, 5.0, 5.0, 1e12, 1e-300, 1.0/256, 4e-6)
+	// Inverted RED thresholds: must be rejected.
+	f.Add(2, 5e6, 40.0, 55e-6, 55e-6, 1.5e-3, 1250.0, 5.0, 200.0, 5.0, 0.01, 1.0/256, 4e-6)
+	// Gain at the boundary: must be rejected.
+	f.Add(2, 5e6, 40.0, 55e-6, 55e-6, 1.5e-3, 1250.0, 5.0, 5.0, 200.0, 0.01, 1.0, 4e-6)
+
+	f.Fuzz(func(t *testing.T, n int, c, rai, tau, tauPrime, tt, b, ff,
+		kmin, kmax, pmax, g, tauStar float64) {
+		pr := DCQCNParams{
+			N: n, C: c, RAI: rai, Tau: tau, TauPrime: tauPrime, T: tt,
+			B: b, F: ff, Kmin: kmin, Kmax: kmax, Pmax: pmax, G: g,
+			TauStar: tauStar,
+		}
+
+		verr := pr.Validate() // must classify, never panic
+
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("SolveDCQCN panicked (Validate said %v) on %+v: %v", verr, pr, r)
+			}
+		}()
+		fp, serr := SolveDCQCN(pr)
+
+		if verr != nil {
+			if serr == nil {
+				t.Fatalf("SolveDCQCN accepted params Validate rejected (%v): %+v", verr, pr)
+			}
+			return
+		}
+		if serr != nil {
+			return // clean refusal (no Eq. 11 bracket) is allowed on valid params
+		}
+		for _, v := range []struct {
+			name string
+			val  float64
+		}{
+			{"P", fp.P}, {"Q", fp.Q}, {"Alpha", fp.Alpha}, {"RC", fp.RC}, {"RT", fp.RT},
+		} {
+			if math.IsNaN(v.val) || math.IsInf(v.val, 0) {
+				t.Fatalf("SolveDCQCN returned non-finite %s = %v for %+v", v.name, v.val, pr)
+			}
+		}
+		switch {
+		case fp.P <= 0 || fp.P >= 1:
+			t.Fatalf("fixed-point p* = %v outside (0,1) for %+v", fp.P, pr)
+		case fp.Alpha < 0 || fp.Alpha > 1:
+			t.Fatalf("fixed-point α* = %v outside [0,1] for %+v", fp.Alpha, pr)
+		case fp.RC != pr.C/float64(pr.N):
+			t.Fatalf("fixed-point RC = %v, want C/N = %v", fp.RC, pr.C/float64(pr.N))
+		case fp.Q < pr.Kmin:
+			t.Fatalf("fixed-point q* = %v below Kmin %v for %+v", fp.Q, pr.Kmin, pr)
+		case fp.RT < fp.RC:
+			t.Fatalf("fixed-point RT = %v below RC = %v for %+v", fp.RT, fp.RC, pr)
+		}
+	})
+}

@@ -1,0 +1,201 @@
+// Package hybrid couples the repo's two validated models of the same
+// protocols — the analytic layer (internal/fixedpoint, internal/fluid) and
+// the packet-level simulator (internal/netsim + endpoint packages) — into a
+// co-simulation and cross-validation toolkit:
+//
+//   - Equilibrium warm start: solve the paper's fixed point (Theorem 1 for
+//     DCQCN, Eq. 31 for patched TIMELY) and start packet-sim endpoints at
+//     the analytic operating point — rates, α, and a prefilled bottleneck
+//     queue — so steady-state studies skip the cold-start transient.
+//   - Fluid background aggregates: model a large background flow population
+//     as a fluid ODE whose queue occupancy is superimposed on a real switch
+//     queue each DES tick (Queue.SetVirtualBytes), while foreground flows
+//     stay packet-accurate.
+//   - Automatic cross-validation: run matched fluid and packet scenarios and
+//     diff queue trajectories and tail percentiles against each other and
+//     against the fixed-point predictions, with explicit tolerances — the
+//     paper's own math as a standing regression oracle for the simulator.
+//
+// Unit convention: the analytic layer works in paper units (packets of
+// netsim.DataMTU bytes, packets/second) for DCQCN and in bytes for TIMELY;
+// the packet simulator always works in bytes. Conversions happen at this
+// package's boundary and nowhere else.
+package hybrid
+
+import (
+	"ecndelay/internal/dcqcn"
+	"ecndelay/internal/des"
+	"ecndelay/internal/fixedpoint"
+	"ecndelay/internal/fluid"
+	"ecndelay/internal/netsim"
+	"ecndelay/internal/timely"
+)
+
+// MTU is the data segment size shared by both layers: the fluid models
+// count packets of this many bytes, the packet simulator sends them.
+const MTU = netsim.DataMTU
+
+// DCQCNScenario is a matched fluid/packet operating point: N long-lived
+// DCQCN flows through one bottleneck star. Params is in paper units
+// (packets of MTU bytes); the packet realisation scales it by MTU.
+type DCQCNScenario struct {
+	N    int
+	Par  fixedpoint.DCQCNParams
+	Seed int64
+	// MistuneKmax multiplies the packet realisation's RED Kmax without
+	// informing the analytic layer — a deliberate inconsistency for
+	// negative-control tests proving the crossval gate fails when the
+	// layers diverge. Zero or 1 means faithful.
+	MistuneKmax float64
+}
+
+// NewDCQCNScenario returns the Table 1 default operating point for n flows
+// on a 40 Gb/s bottleneck (the Figure 2 configuration).
+func NewDCQCNScenario(n int, seed int64) DCQCNScenario {
+	return DCQCNScenario{N: n, Par: fluid.DefaultDCQCNParams(n), Seed: seed}
+}
+
+// BwBytes is the bottleneck bandwidth in wire units.
+func (sc DCQCNScenario) BwBytes() float64 { return sc.Par.C * MTU }
+
+// Star builds the packet-level realisation: a star with sc.N senders, the
+// RED profile of sc.Par scaled to bytes, and DCQCN default endpoints. A
+// non-nil warm start is applied to the senders and the bottleneck queue
+// before the run.
+func (sc DCQCNScenario) Star(warm *WarmStart) (*netsim.Network, *netsim.Star, []*dcqcn.Sender, error) {
+	nw := netsim.New(sc.Seed)
+	star := netsim.NewStar(nw, netsim.StarConfig{
+		Senders: sc.N,
+		Link:    netsim.LinkConfig{Bandwidth: sc.BwBytes(), PropDelay: des.Microsecond},
+		Mark: func() netsim.Marker {
+			kmax := sc.Par.Kmax * MTU
+			if sc.MistuneKmax > 0 {
+				kmax *= sc.MistuneKmax
+			}
+			return &netsim.REDMarker{
+				Kmin: int(sc.Par.Kmin * MTU),
+				Kmax: int(kmax),
+				Pmax: sc.Par.Pmax,
+				Rng:  nw.Rng,
+			}
+		},
+	})
+	if _, err := dcqcn.NewEndpoint(star.Receiver, dcqcn.DefaultParams()); err != nil {
+		return nil, nil, nil, err
+	}
+	senders := make([]*dcqcn.Sender, 0, sc.N)
+	for i, h := range star.Senders {
+		ep, err := dcqcn.NewEndpoint(h, dcqcn.DefaultParams())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		s, err := ep.NewFlow(i, star.Receiver.ID(), -1, 0)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		senders = append(senders, s)
+	}
+	if warm != nil {
+		if err := warm.ApplyDCQCN(senders); err != nil {
+			return nil, nil, nil, err
+		}
+		warm.Prefill(star.Bottleneck, starFlows(star))
+	}
+	return nw, star, senders, nil
+}
+
+// Fluid builds the matched fluid model. A non-nil warm start sets the
+// initial per-flow rates (the fluid model's queue and α warm-start
+// implicitly: its Initial() starts at α=1 / empty queue, so warm fluid runs
+// use InitialRC only — the ODE reaches its fixed point regardless).
+func (sc DCQCNScenario) Fluid(warm *WarmStart) (*fluid.DCQCNSystem, error) {
+	cfg := fluid.DCQCNConfig{Params: sc.Par}
+	if warm != nil {
+		rc := make([]float64, sc.N)
+		for i := range rc {
+			rc[i] = warm.RatesBytes[i] / MTU
+		}
+		cfg.InitialRC = rc
+	}
+	return fluid.NewDCQCN(cfg)
+}
+
+// TimelyScenario is a matched fluid/packet operating point for patched
+// TIMELY: N long-lived flows through one 10 Gb/s star. Cfg (bytes units)
+// drives the fluid model and the Eq. 31 prediction; Par configures the
+// packet endpoints.
+type TimelyScenario struct {
+	N    int
+	Cfg  fluid.TimelyConfig
+	Par  timely.Params
+	Seed int64
+}
+
+// NewTimelyScenario returns the §4.3 patched-TIMELY operating point for n
+// flows (the Figure 12 configuration).
+func NewTimelyScenario(n int, seed int64) TimelyScenario {
+	return TimelyScenario{
+		N:    n,
+		Cfg:  fluid.DefaultPatchedTimelyConfig(n),
+		Par:  timely.DefaultPatchedParams(),
+		Seed: seed,
+	}
+}
+
+// Star builds the packet-level realisation. A non-nil warm start sets the
+// per-flow start rates and prefills the bottleneck queue.
+func (sc TimelyScenario) Star(warm *WarmStart) (*netsim.Network, *netsim.Star, []*timely.Sender, error) {
+	nw := netsim.New(sc.Seed)
+	star := netsim.NewStar(nw, netsim.StarConfig{
+		Senders: sc.N,
+		Link:    netsim.LinkConfig{Bandwidth: sc.Cfg.C, PropDelay: des.Microsecond},
+	})
+	if _, err := timely.NewEndpoint(star.Receiver, sc.Par); err != nil {
+		return nil, nil, nil, err
+	}
+	senders := make([]*timely.Sender, 0, sc.N)
+	for i, h := range star.Senders {
+		ep, err := timely.NewEndpoint(h, sc.Par)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rate := 0.0
+		if warm != nil {
+			rate = warm.RatesBytes[i]
+		}
+		s, err := ep.NewFlow(i, star.Receiver.ID(), -1, 0, rate)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		senders = append(senders, s)
+	}
+	if warm != nil {
+		warm.Prefill(star.Bottleneck, starFlows(star))
+	}
+	return nw, star, senders, nil
+}
+
+// starFlows derives the prefill flow identities from a star: flow i runs
+// sender i → receiver.
+func starFlows(star *netsim.Star) []PrefillFlow {
+	flows := make([]PrefillFlow, len(star.Senders))
+	for i, h := range star.Senders {
+		flows[i] = PrefillFlow{Flow: i, Src: h.ID(), Dst: star.Receiver.ID()}
+	}
+	return flows
+}
+
+func relErr(got, want float64) float64 {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	w := want
+	if w < 0 {
+		w = -w
+	}
+	if w < 1e-12 {
+		w = 1e-12
+	}
+	return d / w
+}

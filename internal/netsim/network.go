@@ -202,6 +202,35 @@ func (nw *Network) Ports() []*Port { return nw.ports }
 // Queue exposes the egress queue (monitoring, tests).
 func (p *Port) Queue() *Queue { return p.queue }
 
+// PrefillQueue synthesises a queued data packet on this port's egress at
+// the current instant, so a run can start with the queue already at an
+// analytic operating point (internal/hybrid warm start) instead of
+// simulating the fill transient. The packet is a normal ECT data segment —
+// it drains, is delivered and can be CE-marked like any other — but it
+// bypasses PFC ingress accounting (it was never received on an ingress),
+// so prefilling is safe on PFC-enabled switches. It reports false when a
+// finite queue tail-dropped the fill. Flow/src/dst should name a real flow
+// so any CE feedback lands at a live sender; go-back-N runs should not
+// prefill (the synthetic segments alias sequence space).
+func (p *Port) PrefillQueue(flow, src, dst, size int) bool {
+	pkt := p.ctx.newPacket()
+	pkt.ID = p.ctx.nextPacketID()
+	pkt.Flow = flow
+	pkt.Src = src
+	pkt.Dst = dst
+	pkt.Size = size
+	pkt.Kind = Data
+	pkt.ECT = true
+	pkt.ingress = -1
+	pkt.SentAt = p.ctx.sim.Now()
+	if !p.queue.Push(pkt) {
+		p.ctx.freePacket(pkt)
+		return false
+	}
+	p.tryTx()
+	return true
+}
+
 // Peer reports the node at the far end.
 func (p *Port) Peer() Node { return p.peer }
 

@@ -19,6 +19,7 @@ type Queue struct {
 	capBytes int // 0: unbounded
 	drops    int64
 	dropped  int64 // bytes
+	virtual  int   // fluid background occupancy, bytes (see SetVirtualBytes)
 	mark     Marker
 
 	// port is the owning port, set by NewPort; nil for standalone queues
@@ -37,6 +38,28 @@ func (q *Queue) Len() int { return len(q.pkts) - q.head }
 
 // Bytes reports the queued payload in bytes.
 func (q *Queue) Bytes() int { return q.bytes }
+
+// SetVirtualBytes sets the fluid background occupancy superimposed on this
+// queue. Markers see Bytes()+VirtualBytes() through MarkBytes, so a fluid
+// aggregate (internal/hybrid) can shift the marking operating point without
+// injecting packets. It does not consume capacity (SetCapBytes) and does not
+// delay real packets: the coupling is through the congestion signal only.
+// Zero — the default — leaves every marker byte-identical to the
+// pre-virtual-bytes behaviour.
+func (q *Queue) SetVirtualBytes(n int) {
+	if n < 0 {
+		n = 0
+	}
+	q.virtual = n
+}
+
+// VirtualBytes reports the fluid background occupancy (0 unless a hybrid
+// aggregate is attached).
+func (q *Queue) VirtualBytes() int { return q.virtual }
+
+// MarkBytes reports the occupancy marking policies should act on: real
+// queued bytes plus any fluid background occupancy.
+func (q *Queue) MarkBytes() int { return q.bytes + q.virtual }
 
 // SetCapBytes bounds the queue at c buffered bytes; 0 restores the default
 // unbounded (lossless) behaviour. A non-empty queue tail-drops arrivals
@@ -151,7 +174,7 @@ func (m *REDMarker) Mark(q *Queue, pkt *Packet) {
 	if !pkt.ECT || pkt.CE {
 		return
 	}
-	b := q.Bytes()
+	b := q.MarkBytes()
 	var p float64
 	switch {
 	case b <= m.Kmin:
@@ -193,7 +216,7 @@ func (m *PIMarker) Start(sim *des.Simulator, q *Queue) {
 		m.Interval = 10 * des.Microsecond
 	}
 	sim.Every(sim.Now().Add(m.Interval), m.Interval, func() {
-		qb := q.Bytes()
+		qb := q.MarkBytes()
 		dt := m.Interval.Seconds()
 		m.p += m.K1*float64(qb-m.prevQ) + m.K2*float64(qb-m.QRef)*dt
 		if m.p < 0 {
