@@ -168,6 +168,10 @@ func BenchmarkHybridWarm(b *testing.B) { benchRunner(b, "hybridwarm") }
 // against its all-packet reference.
 func BenchmarkHybridBG(b *testing.B) { benchRunner(b, "hybridbg") }
 
+// BenchmarkAuditLoop runs the audited Figure 5 incast across its CNP
+// loss points — the cost of a fully attached audit trail rides along.
+func BenchmarkAuditLoop(b *testing.B) { benchRunner(b, "auditloop") }
+
 // ---- Sharded engine (internal/des.ShardedLoop, design note "Parallel
 // DES" in DESIGN.md) ----
 
@@ -394,6 +398,7 @@ func TestEveryExperimentHasABenchmark(t *testing.T) {
 		"faultloss": true, "faultcnp": true,
 		"closincast": true, "closshuffle": true, "closload": true,
 		"crossval": true, "hybridwarm": true, "hybridbg": true,
+		"auditloop": true,
 	}
 	for _, r := range ecndelay.Runners() {
 		if !covered[r.ID] {

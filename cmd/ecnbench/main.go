@@ -72,10 +72,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		probeEvery  = fs.Float64("probe-every", 1e-4, "probe sampling cadence, seconds")
 		invariants  = fs.Bool("invariants", false, "check runtime invariants; violations exit nonzero")
 		histFile    = fs.String("hist", "", "write latency histogram percentiles to this file (.tsv: TSV, else JSONL)")
+		auditFile   = fs.String("audit", "", "write the control-loop decision audit as JSONL to this file")
 		serveAddr   = fs.String("serve", "", "serve live telemetry (/metrics, /progress, pprof) on this host:port")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// Self-describing header for every JSONL export; fs.Visit walks only
+	// explicitly set flags, in name order. Proto is empty: experiments mix
+	// protocols, and each decision record names its own type.
+	header := func(schema string) ecndelay.ExportHeader {
+		var parts []string
+		fs.Visit(func(f *flag.Flag) {
+			parts = append(parts, f.Name+"="+f.Value.String())
+		})
+		return ecndelay.ExportHeader{
+			Schema: schema, Version: 1, Seed: *seed,
+			Flags: strings.Join(parts, " "),
+		}
 	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -110,8 +125,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// by completion order, so byte-stable traces need -workers 1.
 	var observer *ecndelay.Observer
 	var traceSink *ecndelay.TraceJSONLSink
+	var auditSink *ecndelay.AuditJSONLSink
 	if *metricsFile != "" || *traceFile != "" || *probeFile != "" || *invariants ||
-		*histFile != "" || *serveAddr != "" {
+		*histFile != "" || *serveAddr != "" || *auditFile != "" {
 		observer = &ecndelay.Observer{ProbeEvery: ecndelay.DurationFromSeconds(*probeEvery)}
 		if *metricsFile != "" || *serveAddr != "" {
 			observer.Metrics = ecndelay.NewMetricsRegistry()
@@ -123,16 +139,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 			traceSink = ecndelay.NewTraceJSONLSink(f)
+			traceSink.WriteHeader(header("trace"))
 			observer.Trace = ecndelay.NewTracer(traceSink)
 		}
 		if *probeFile != "" {
 			observer.Probes = ecndelay.NewProbeSet()
+			observer.Probes.SetHeader(header("probe"))
 		}
 		if *invariants {
 			observer.Check = ecndelay.NewInvariantChecker()
 		}
-		if *histFile != "" || *serveAddr != "" {
+		if *histFile != "" || *serveAddr != "" || *auditFile != "" {
 			observer.Hists = ecndelay.NewHistSet()
+		}
+		if *auditFile != "" {
+			// One shared trail: decisions from concurrently running
+			// experiments interleave under the trail's lock, and the sink
+			// sorts into canonical order on Close, so the file is
+			// byte-identical for any -workers value.
+			f, err := os.Create(*auditFile)
+			if err != nil {
+				fmt.Fprintf(stderr, "ecnbench: %v\n", err)
+				return 2
+			}
+			auditSink = ecndelay.NewAuditJSONLSink(f, 1<<16)
+			auditSink.SetHeader(header("audit"))
+			observer.Audit = ecndelay.NewAuditTrail(auditSink)
 		}
 		opts.Observer = observer
 	}
@@ -203,7 +235,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	if observer != nil {
-		if code := finishObs(observer, traceSink, *metricsFile, *probeFile, *histFile, stderr); code != 0 {
+		if code := finishObs(observer, traceSink, auditSink, *metricsFile, *probeFile, *histFile, stderr); code != 0 {
 			return code
 		}
 	}
@@ -215,9 +247,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // finishObs flushes the observability outputs and reports invariant
 // violations; returns a nonzero exit code on failure.
-func finishObs(o *ecndelay.Observer, trace *ecndelay.TraceJSONLSink, metricsPath, probePath, histPath string, stderr io.Writer) int {
+func finishObs(o *ecndelay.Observer, trace *ecndelay.TraceJSONLSink, audit *ecndelay.AuditJSONLSink, metricsPath, probePath, histPath string, stderr io.Writer) int {
 	if trace != nil {
 		if err := trace.Close(); err != nil {
+			fmt.Fprintf(stderr, "ecnbench: %v\n", err)
+			return 1
+		}
+	}
+	if audit != nil {
+		if err := audit.Close(); err != nil {
 			fmt.Fprintf(stderr, "ecnbench: %v\n", err)
 			return 1
 		}

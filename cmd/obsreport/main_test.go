@@ -139,3 +139,94 @@ func TestUsageErrors(t *testing.T) {
 		t.Errorf("empty baseline must be a usage error")
 	}
 }
+
+// An empty candidate export (a run that produced no histograms) fails the
+// gate for every baseline histogram — unless -allow-missing waives it.
+func TestEmptyCandidateExport(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.jsonl", baseJSONL)
+	cand := writeFile(t, dir, "new.jsonl", "")
+	out, errText, code := runCLI(t, "-base", base, "-new", cand)
+	if code != 1 {
+		t.Fatalf("empty candidate exit %d, want 1:\n%s%s", code, out, errText)
+	}
+	if !strings.Contains(errText, "2 regression(s)") {
+		t.Errorf("both baseline histograms should be flagged missing: %s", errText)
+	}
+	if _, _, code := runCLI(t, "-base", base, "-new", cand, "-allow-missing"); code != 0 {
+		t.Errorf("-allow-missing should tolerate an empty candidate, exit %d", code)
+	}
+}
+
+// A candidate written with a narrower quantile set (absent keys decode to
+// zero) must not sneak past as an "improvement" on the missing columns:
+// restricting -quantiles to the shared set is the supported comparison.
+func TestMismatchedQuantileSets(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.jsonl", baseJSONL)
+	narrow := `{"hist":"timely.rtt_s","count":378,"p50":6.1e-05,"p99":9.0e-04}
+{"hist":"dcqcn.cnp_gap_s","count":2077,"p50":6.4e-05,"p99":3.7e-03}
+`
+	cand := writeFile(t, dir, "new.jsonl", narrow)
+	// Full-set comparison sees p90 collapse to 0 — an "improvement", so it
+	// passes; the note is the count drift, not the zeros.
+	if _, _, code := runCLI(t, "-base", base, "-new", cand); code != 0 {
+		t.Fatalf("absent-column zeros read as improvements, exit %d", code)
+	}
+	// Restricted to the shared columns the comparison is meaningful.
+	out, _, code := runCLI(t, "-base", base, "-new", cand, "-quantiles", "p50,p99")
+	if code != 0 {
+		t.Fatalf("shared-column comparison exit %d:\n%s", code, out)
+	}
+	if strings.Contains(out, "p90") {
+		t.Errorf("-quantiles p50,p99 still compared p90:\n%s", out)
+	}
+	// And the reverse direction — baseline narrow, candidate full — trips
+	// the zero-baseline rule on the baseline's absent columns.
+	if _, _, code := runCLI(t, "-base", cand, "-new", base, "-quantiles", "p90"); code != 1 {
+		t.Errorf("0-baseline column must regress, exit %d", code)
+	}
+}
+
+// Self-describing header lines (schema records without a "hist" key) are
+// skipped, like the probe trailer rows.
+func TestHeaderLineTolerated(t *testing.T) {
+	dir := t.TempDir()
+	withHeader := `{"schema":"hist","v":1,"seed":1,"proto":"dcqcn","flags":""}` + "\n" + baseJSONL
+	base := writeFile(t, dir, "base.jsonl", withHeader)
+	cand := writeFile(t, dir, "new.jsonl", baseJSONL)
+	if out, errText, code := runCLI(t, "-base", base, "-new", cand); code != 0 {
+		t.Fatalf("header line broke the comparison (exit %d):\n%s%s", code, out, errText)
+	}
+}
+
+func TestMalformedLineIsIOError(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.jsonl", baseJSONL)
+	bad := writeFile(t, dir, "bad.jsonl", "{not json\n")
+	_, errText, code := runCLI(t, "-base", base, "-new", bad)
+	if code != 2 {
+		t.Fatalf("malformed candidate exit %d, want 2", code)
+	}
+	if !strings.Contains(errText, "bad.jsonl:1") {
+		t.Errorf("error should name file and line: %s", errText)
+	}
+}
+
+// -quiet prints regressed rows only.
+func TestQuietSuppressesOKRows(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.jsonl", baseJSONL)
+	worse := strings.Replace(baseJSONL, `"p99":9.0e-04`, `"p99":1.35e-03`, 1)
+	cand := writeFile(t, dir, "new.jsonl", worse)
+	out, _, code := runCLI(t, "-base", base, "-new", cand, "-quiet")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if strings.Contains(out, "ok ") || strings.Contains(out, "note") {
+		t.Errorf("-quiet leaked non-regression rows:\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESSION timely.rtt_s p99") {
+		t.Errorf("-quiet dropped the regression row:\n%s", out)
+	}
+}

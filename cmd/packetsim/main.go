@@ -108,9 +108,24 @@ func main() {
 		probeEvery  = flag.Float64("probe-every", 1e-4, "probe sampling cadence, seconds")
 		invariants  = flag.Bool("invariants", false, "check runtime invariants; violations exit nonzero")
 		histFile    = flag.String("hist", "", "write latency histogram percentiles to this file (.tsv: TSV, else JSONL)")
+		auditFile   = flag.String("audit", "", "write the control-loop decision audit as JSONL to this file")
 		serveAddr   = flag.String("serve", "", "serve live telemetry (/metrics, /progress, pprof) on this host:port")
 	)
 	flag.Parse()
+
+	// Every JSONL export opens with the same self-describing header, so a
+	// reader can tell which invocation produced a file without the shell
+	// history. flag.Visit walks only explicitly set flags, in name order.
+	header := func(schema string) ecndelay.ExportHeader {
+		var parts []string
+		flag.Visit(func(f *flag.Flag) {
+			parts = append(parts, f.Name+"="+f.Value.String())
+		})
+		return ecndelay.ExportHeader{
+			Schema: schema, Version: 1, Seed: *seed, Proto: *proto,
+			Flags: strings.Join(parts, " "),
+		}
+	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -122,8 +137,9 @@ func main() {
 	// separate files — stdout stays byte-identical to an unobserved run.
 	var observer *ecndelay.Observer
 	var traceSink *ecndelay.TraceJSONLSink
+	var auditSink *ecndelay.AuditJSONLSink
 	if *metricsFile != "" || *traceFile != "" || *probeFile != "" || *invariants ||
-		*histFile != "" || *serveAddr != "" {
+		*histFile != "" || *serveAddr != "" || *auditFile != "" {
 		observer = &ecndelay.Observer{ProbeEvery: ecndelay.DurationFromSeconds(*probeEvery)}
 		if *metricsFile != "" || *serveAddr != "" {
 			observer.Metrics = ecndelay.NewMetricsRegistry()
@@ -134,16 +150,29 @@ func main() {
 				log.Fatal(err)
 			}
 			traceSink = ecndelay.NewTraceJSONLSink(f)
+			traceSink.WriteHeader(header("trace"))
 			observer.Trace = ecndelay.NewTracer(traceSink)
 		}
 		if *probeFile != "" {
 			observer.Probes = ecndelay.NewProbeSet()
+			observer.Probes.SetHeader(header("probe"))
 		}
 		if *invariants {
 			observer.Check = ecndelay.NewInvariantChecker()
 		}
-		if *histFile != "" || *serveAddr != "" {
+		if *histFile != "" || *serveAddr != "" || *auditFile != "" {
+			// The audit trail feeds the feedback-latency histograms, so an
+			// audited run always carries a histogram set.
 			observer.Hists = ecndelay.NewHistSet()
+		}
+		if *auditFile != "" {
+			f, err := os.Create(*auditFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			auditSink = ecndelay.NewAuditJSONLSink(f, 1<<16)
+			auditSink.SetHeader(header("audit"))
+			observer.Audit = ecndelay.NewAuditTrail(auditSink)
 		}
 	}
 
@@ -571,6 +600,11 @@ func main() {
 		out.Flush() // log.Fatal below skips the deferred flush
 		if traceSink != nil {
 			if err := traceSink.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if auditSink != nil {
+			if err := auditSink.Close(); err != nil {
 				log.Fatal(err)
 			}
 		}

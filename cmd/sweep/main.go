@@ -78,6 +78,7 @@ func run(args []string, stderr io.Writer) int {
 		probeEvery  = fs.Float64("probe-every", 1e-4, "exp: probe sampling cadence, seconds")
 		invariants  = fs.Bool("invariants", false, "exp: check runtime invariants; violations exit nonzero")
 		histFile    = fs.String("hist", "", "exp: write latency histogram percentiles to this file (.tsv: TSV, else JSONL)")
+		auditFile   = fs.String("audit", "", "exp: write per-job control-loop audits as JSONL files derived from this path")
 		serveAddr   = fs.String("serve", "", "serve live telemetry (/metrics, /progress, pprof) on this host:port")
 
 		failFast  = fs.Bool("fail-fast", false, "stop dispatching new jobs after the first job exhausts its retries (completed rows are kept)")
@@ -127,26 +128,51 @@ func run(args []string, stderr io.Writer) int {
 	// TracePerJob), so each trace file is byte-identical for any -workers
 	// value too. The pm grid is fluid-model only and never touches the
 	// observer.
+	// Self-describing header for every JSONL export; fs.Visit walks only
+	// explicitly set flags, in name order. Flags that steer execution but
+	// cannot change a row or an export record are excluded, so per-job
+	// files stay byte-identical for any -workers value.
+	header := func(schema string) ecndelay.ExportHeader {
+		skip := map[string]bool{"workers": true, "quiet": true, "resume": true}
+		var parts []string
+		fs.Visit(func(f *flag.Flag) {
+			if skip[f.Name] {
+				return
+			}
+			parts = append(parts, f.Name+"="+f.Value.String())
+		})
+		return ecndelay.ExportHeader{
+			Schema: schema, Version: 1, Seed: *seed,
+			Flags: strings.Join(parts, " "),
+		}
+	}
+
 	var observer *ecndelay.Observer
 	var traces *jobTraces
+	var audits *jobAudits
 	if *metricsFile != "" || *traceFile != "" || *probeFile != "" || *invariants ||
-		*histFile != "" || *serveAddr != "" {
+		*histFile != "" || *serveAddr != "" || *auditFile != "" {
 		observer = &ecndelay.Observer{ProbeEvery: ecndelay.DurationFromSeconds(*probeEvery)}
 		if *metricsFile != "" || *serveAddr != "" {
 			observer.Metrics = ecndelay.NewMetricsRegistry()
 		}
 		if *traceFile != "" {
-			traces = &jobTraces{base: *traceFile}
+			traces = &jobTraces{base: *traceFile, header: header("trace")}
 			observer.TracePerJob = traces.tracer
 		}
 		if *probeFile != "" {
 			observer.Probes = ecndelay.NewProbeSet()
+			observer.Probes.SetHeader(header("probe"))
 		}
 		if *invariants {
 			observer.Check = ecndelay.NewInvariantChecker()
 		}
-		if *histFile != "" || *serveAddr != "" {
+		if *histFile != "" || *serveAddr != "" || *auditFile != "" {
 			observer.Hists = ecndelay.NewHistSet()
+		}
+		if *auditFile != "" {
+			audits = &jobAudits{base: *auditFile, header: header("audit")}
+			observer.AuditPerJob = audits.trail
 		}
 	}
 
@@ -209,7 +235,7 @@ func run(args []string, stderr io.Writer) int {
 		return 1
 	}
 	if observer != nil {
-		if code := finishObs(observer, traces, *metricsFile, *probeFile, *histFile, stderr); code != 0 {
+		if code := finishObs(observer, traces, audits, *metricsFile, *probeFile, *histFile, stderr); code != 0 {
 			return code
 		}
 	}
@@ -225,9 +251,15 @@ func run(args []string, stderr io.Writer) int {
 
 // finishObs flushes the observability outputs and reports invariant
 // violations; returns a nonzero exit code on failure.
-func finishObs(o *ecndelay.Observer, traces *jobTraces, metricsPath, probePath, histPath string, stderr io.Writer) int {
+func finishObs(o *ecndelay.Observer, traces *jobTraces, audits *jobAudits, metricsPath, probePath, histPath string, stderr io.Writer) int {
 	if traces != nil {
 		if err := traces.close(); err != nil {
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
+			return 1
+		}
+	}
+	if audits != nil {
+		if err := audits.close(); err != nil {
 			fmt.Fprintf(stderr, "sweep: %v\n", err)
 			return 1
 		}
@@ -282,10 +314,11 @@ func finishObs(o *ecndelay.Observer, traces *jobTraces, metricsPath, probePath, 
 // -workers value. tracer is called from worker goroutines, so it
 // serialises; the first open error is latched and surfaces at close.
 type jobTraces struct {
-	base  string
-	mu    sync.Mutex
-	sinks []*ecndelay.TraceJSONLSink
-	err   error
+	base   string
+	header ecndelay.ExportHeader
+	mu     sync.Mutex
+	sinks  []*ecndelay.TraceJSONLSink
+	err    error
 }
 
 // pathFor derives the per-job trace file name from the base path.
@@ -306,6 +339,7 @@ func (t *jobTraces) tracer(jobID string) *ecndelay.Tracer {
 		return nil
 	}
 	sink := ecndelay.NewTraceJSONLSink(f)
+	sink.WriteHeader(t.header)
 	t.sinks = append(t.sinks, sink)
 	return ecndelay.NewTracer(sink)
 }
@@ -316,6 +350,56 @@ func (t *jobTraces) close() error {
 	defer t.mu.Unlock()
 	err := t.err
 	for _, s := range t.sinks {
+		if cerr := s.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// jobAudits opens one control-loop audit trail per sweep job, writing
+// audit.<jobid>.jsonl next to the -audit base path (jobTraces naming).
+// Each job owns its file and the sink sorts into canonical record order
+// on close, so every audit file is byte-identical for any -workers
+// value. trail is called from worker goroutines, so it serialises; the
+// first open error is latched and surfaces at close.
+type jobAudits struct {
+	base   string
+	header ecndelay.ExportHeader
+	mu     sync.Mutex
+	sinks  []*ecndelay.AuditJSONLSink
+	err    error
+}
+
+// pathFor derives the per-job audit file name from the base path.
+func (a *jobAudits) pathFor(jobID string) string {
+	id := strings.ReplaceAll(jobID, "/", "_")
+	ext := filepath.Ext(a.base)
+	return strings.TrimSuffix(a.base, ext) + "." + id + ext
+}
+
+func (a *jobAudits) trail(jobID string) *ecndelay.AuditTrail {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, err := os.Create(a.pathFor(jobID))
+	if err != nil {
+		if a.err == nil {
+			a.err = err
+		}
+		return nil
+	}
+	sink := ecndelay.NewAuditJSONLSink(f, 1<<16)
+	sink.SetHeader(a.header)
+	a.sinks = append(a.sinks, sink)
+	return ecndelay.NewAuditTrail(sink)
+}
+
+// close flushes every per-job file and returns the first error seen.
+func (a *jobAudits) close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	err := a.err
+	for _, s := range a.sinks {
 		if cerr := s.Close(); err == nil {
 			err = cerr
 		}

@@ -652,7 +652,9 @@ func ExperimentSweepJobs(ids []string, opts ExperimentOptions, seeds []int64) ([
 // observer stays nil; the copy shares every facility (Metrics, Trace,
 // Check, Probes, Hists) with the original — except that an observer with
 // TracePerJob set gets a private per-job tracer instead of the shared
-// Trace, so trace streams don't interleave jobs by completion order.
+// Trace, so trace streams don't interleave jobs by completion order; an
+// observer with AuditPerJob set likewise gets a private per-job audit
+// trail.
 func JobObserver(o *Observer, jobID string) *Observer {
 	if o == nil {
 		return nil
@@ -661,6 +663,9 @@ func JobObserver(o *Observer, jobID string) *Observer {
 	jo.ProbePrefix = jo.ProbePrefix + jobID + "."
 	if o.TracePerJob != nil {
 		jo.Trace = o.TracePerJob(jobID)
+	}
+	if o.AuditPerJob != nil {
+		jo.Audit = o.AuditPerJob(jobID)
 	}
 	return &jo
 }
@@ -704,6 +709,22 @@ type (
 	TraceMemorySink = obs.MemorySink
 	// TraceJSONLSink streams trace events as JSONL.
 	TraceJSONLSink = obs.JSONLSink
+	// AuditTrail fans control-loop decisions out to sinks.
+	AuditTrail = obs.AuditTrail
+	// AuditDecision is one control-loop audit record.
+	AuditDecision = obs.Decision
+	// AuditDecisionType labels a control-loop decision.
+	AuditDecisionType = obs.DecisionType
+	// AuditSink receives audit decisions.
+	AuditSink = obs.DecisionSink
+	// AuditMemorySink retains audit decisions in memory.
+	AuditMemorySink = obs.AuditMemorySink
+	// AuditJSONLSink buffers decisions and writes canonically sorted JSONL
+	// on Close.
+	AuditJSONLSink = obs.AuditJSONLSink
+	// ExportHeader is the self-describing first record of a probe/trace/
+	// audit JSONL export.
+	ExportHeader = obs.Header
 	// InvariantChecker verifies runtime invariants from the event stream.
 	InvariantChecker = obs.Checker
 	// InvariantViolation is one detected invariant breach.
@@ -739,6 +760,24 @@ const (
 	TraceDoubleFree = obs.DoubleFree
 )
 
+// Control-loop audit decision types.
+const (
+	AuditMarkOpen      = obs.DecMarkOpen
+	AuditMarkClose     = obs.DecMarkClose
+	AuditRateCut       = obs.DecRateCut
+	AuditAlphaFeedback = obs.DecAlphaFeedback
+	AuditAlphaDecay    = obs.DecAlphaDecay
+	AuditFastRecovery  = obs.DecFastRecovery
+	AuditAdditiveInc   = obs.DecAdditiveInc
+	AuditHyperInc      = obs.DecHyperInc
+	AuditRTTSample     = obs.DecRTTSample
+	AuditGradient      = obs.DecGradient
+	AuditTimelyAdd     = obs.DecTimelyAdd
+	AuditTimelyMD      = obs.DecTimelyMD
+	AuditTimelyBrake   = obs.DecTimelyBrake
+	AuditTimelyPatched = obs.DecTimelyPatched
+)
+
 // Invariant classes.
 const (
 	InvConservation = obs.InvConservation
@@ -765,6 +804,19 @@ func NewTraceMemorySink(capacity int) *TraceMemorySink { return obs.NewMemorySin
 
 // NewTraceJSONLSink wraps w as a streaming JSONL trace sink.
 func NewTraceJSONLSink(w io.Writer) *TraceJSONLSink { return obs.NewJSONLSink(w) }
+
+// NewAuditTrail returns a control-loop audit trail emitting to the given
+// sinks.
+func NewAuditTrail(sinks ...AuditSink) *AuditTrail { return obs.NewAuditTrail(sinks...) }
+
+// NewAuditMemorySink preallocates an in-memory audit sink.
+func NewAuditMemorySink(capacity int) *AuditMemorySink { return obs.NewAuditMemorySink(capacity) }
+
+// NewAuditJSONLSink wraps w as a buffer-and-sort audit JSONL sink; Close
+// writes the canonically ordered records.
+func NewAuditJSONLSink(w io.Writer, capacity int) *AuditJSONLSink {
+	return obs.NewAuditJSONLSink(w, capacity)
+}
 
 // NewInvariantChecker returns a checker with no recorded state.
 func NewInvariantChecker() *InvariantChecker { return obs.NewChecker() }

@@ -139,6 +139,16 @@ type Endpoint struct {
 	// nil when the network has no observer (or no HistSet) attached.
 	cnpGapH  *obs.Hist
 	paceGapH *obs.Hist
+
+	// Control-loop audit binding (nil without an attached trail): aud
+	// receives one Decision per RP action, markCnpH/cnpCutH are the
+	// mark→CNP-receipt and CNP-receipt→rate-cut legs of the feedback
+	// latency, and audSeq numbers this endpoint's decisions for the
+	// canonical audit sort order.
+	aud      *obs.AuditTrail
+	markCnpH *obs.Hist
+	cnpCutH  *obs.Hist
+	audSeq   uint64
 }
 
 type npState struct {
@@ -177,7 +187,7 @@ func (e *Endpoint) Handle(h *netsim.Host, pkt *netsim.Packet) {
 			if e.ctr != nil {
 				e.ctr.CNPRx.Inc()
 			}
-			s.onCNP()
+			s.onCNP(pkt)
 		}
 	case netsim.Ack:
 		if s, ok := e.flows[pkt.Flow]; ok {
@@ -226,6 +236,10 @@ func (e *Endpoint) maybeCNP(pkt *netsim.Packet) {
 		cnp.Dst = pkt.Src
 		cnp.Size = netsim.CtrlSize
 		cnp.Kind = netsim.CNP
+		// Carry the mark-episode provenance back to the RP (zero when no
+		// audit trail stamped the data packet).
+		cnp.MarkEp = pkt.MarkEp
+		cnp.MarkT = pkt.MarkT
 		if e.ctr != nil {
 			e.ctr.CNPTx.Inc()
 		}
@@ -304,6 +318,9 @@ func (s *Sender) OnEvent(arg any) {
 		// Eq. 2: no feedback for τ' → α decays.
 		s.alpha *= 1 - s.e.p.G
 		s.armAlphaTimer()
+		if s.e.aud != nil {
+			s.audit(obs.Decision{Type: obs.DecAlphaDecay, Alpha: s.alpha})
+		}
 	case evRate:
 		s.tStage++
 		s.increase()
@@ -469,12 +486,15 @@ func (s *Sender) armRateTimer() {
 	s.timerEv = s.e.host.ScheduleHandler(s.e.p.RateTimer, s, evRate)
 }
 
-// onCNP is the Eq. 1 multiplicative decrease plus state reset.
-func (s *Sender) onCNP() {
+// onCNP is the Eq. 1 multiplicative decrease plus state reset. The CNP
+// packet carries the causing mark episode when an audit trail stamped it.
+func (s *Sender) onCNP(pkt *netsim.Packet) {
 	if s.done || !s.started {
 		return
 	}
 	s.obsCNPGap()
+	old := s.rc
+	cutAlpha := s.alpha
 	s.rt = s.rc
 	s.rc *= 1 - s.alpha/2
 	if s.rc < s.e.p.MinRate {
@@ -486,6 +506,9 @@ func (s *Sender) onCNP() {
 	s.armAlphaTimer()
 	s.armRateTimer()
 	s.noteRate()
+	if s.e.aud != nil {
+		s.audCut(pkt, old, cutAlpha)
+	}
 }
 
 // increase runs one QCN-style rate increase event: five stages of fast
@@ -495,13 +518,17 @@ func (s *Sender) increase() {
 	if s.done {
 		return
 	}
+	old := s.rc
+	dec := obs.DecFastRecovery
 	switch {
 	case s.bcStage <= s.e.p.F && s.tStage <= s.e.p.F:
 		// Fast recovery: halve the gap to the target.
 	case s.bcStage > s.e.p.F && s.tStage > s.e.p.F:
 		s.rt += s.e.p.RHAI
+		dec = obs.DecHyperInc
 	default:
 		s.rt += s.e.p.RAI
+		dec = obs.DecAdditiveInc
 	}
 	line := s.e.host.LineRate()
 	if s.rt > line {
@@ -512,4 +539,9 @@ func (s *Sender) increase() {
 		s.rc = line
 	}
 	s.noteRate()
+	if s.e.aud != nil {
+		s.audit(obs.Decision{
+			Type: dec, OldRate: old, NewRate: s.rc, Target: s.rt, Alpha: s.alpha,
+		})
+	}
 }

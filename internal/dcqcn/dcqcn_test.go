@@ -355,7 +355,7 @@ func TestHyperIncreaseAcceleratesRecovery(t *testing.T) {
 		// Simulate a deep cut: repeated CNPs drive the rate down hard.
 		nw.Sim.At(des.Time(des.Millisecond), func() {
 			for i := 0; i < 10; i++ {
-				s.onCNP()
+				s.onCNP(&netsim.Packet{Kind: netsim.CNP, Flow: 0})
 			}
 		})
 		var recovered des.Time

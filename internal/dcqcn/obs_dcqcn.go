@@ -26,6 +26,49 @@ func (e *Endpoint) bindObs() {
 	}
 	e.cnpGapH = o.Hist("dcqcn.cnp_gap_s")
 	e.paceGapH = o.Hist("dcqcn.pace_gap_s")
+	if o.Audit != nil {
+		e.aud = o.Audit
+		e.markCnpH = o.Hist("ctl.mark_to_cnprx_s")
+		e.cnpCutH = o.Hist("ctl.cnprx_to_cut_s")
+	}
+}
+
+// audit stamps the endpoint-invariant fields of a decision record and
+// emits it. Callers have already checked s.e.aud != nil.
+func (s *Sender) audit(d obs.Decision) {
+	s.e.audSeq++
+	d.T = s.e.host.Now()
+	d.Node = int32(s.e.host.ID())
+	d.Peer = int32(s.dst)
+	d.Flow = int32(s.id)
+	d.Seq = s.e.audSeq
+	s.e.aud.Emit(d)
+}
+
+// audCut records a CNP-triggered rate cut: the cut decision attributed to
+// the mark episode the CNP carries (0: unattributed — a CNP whose marked
+// data packet predates audit attachment), the alpha feedback update that
+// rides on the same CNP, and the last two feedback-latency legs
+// (mark→CNP-receipt from the stamped mark time, CNP-receipt→cut measured
+// here — zero in this model, where the RP reacts in the same instant).
+func (s *Sender) audCut(pkt *netsim.Packet, oldRate, cutAlpha float64) {
+	now := s.e.host.Now()
+	lat := 0.0
+	if pkt.MarkEp != 0 {
+		lat = now.Sub(pkt.MarkT).Seconds()
+		if h := s.e.markCnpH; h != nil {
+			h.Record(lat)
+		}
+	}
+	if h := s.e.cnpCutH; h != nil {
+		h.Record(0)
+	}
+	s.audit(obs.Decision{
+		Type: obs.DecRateCut, Episode: pkt.MarkEp,
+		OldRate: oldRate, NewRate: s.rc, Target: s.rt, Alpha: cutAlpha,
+		RTT: lat,
+	})
+	s.audit(obs.Decision{Type: obs.DecAlphaFeedback, Alpha: s.alpha})
 }
 
 // obsPace records the gap since this sender's previous data packet into

@@ -44,6 +44,8 @@ func closGoldenProbeJSONL(t *testing.T, proto Protocol) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Same self-describing header the cmd front-ends prepend.
+	o.Probes.SetHeader(obs.Header{Schema: "probe", Version: 1, Seed: cfg.Seed, Proto: proto.String()})
 	cfg.Observer = o
 	if _, err := runClos(cfg); err != nil {
 		t.Fatal(err)

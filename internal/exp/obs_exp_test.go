@@ -91,6 +91,9 @@ func goldenProbeJSONL(t *testing.T, proto Protocol) []byte {
 	t.Helper()
 	o := &obs.NetObserver{Probes: obs.NewProbeSet(), ProbeEvery: 100 * des.Microsecond}
 	cfg := goldenCfg(proto)
+	// The golden files carry the same self-describing header the cmd
+	// front-ends prepend, so a fixture names the run that produced it.
+	o.Probes.SetHeader(obs.Header{Schema: "probe", Version: 1, Seed: cfg.Seed, Proto: proto.String()})
 	cfg.Observer = o
 	if _, err := RunFCT(cfg); err != nil {
 		t.Fatal(err)
@@ -235,6 +238,7 @@ func TestGoldenProbeAcrossSweepWorkers(t *testing.T) {
 				Run: func(int64) (map[string]float64, error) {
 					o := &obs.NetObserver{Probes: obs.NewProbeSet(), ProbeEvery: 100 * des.Microsecond}
 					cfg := goldenCfg(proto)
+					o.Probes.SetHeader(obs.Header{Schema: "probe", Version: 1, Seed: cfg.Seed, Proto: proto.String()})
 					cfg.Observer = o
 					if _, err := RunFCT(cfg); err != nil {
 						return nil, err

@@ -155,6 +155,19 @@ type Port struct {
 	// no observer (or no histogram set) is attached.
 	qdH *obs.Hist
 
+	// Control-loop audit state (see obs_netsim.go). aud is non-nil only
+	// when an audit trail is attached AND this port has a marking policy;
+	// every episode field below is then owned by the owner's shard, like
+	// the queue itself.
+	aud      *obs.AuditTrail
+	crossH   *obs.Hist // queue-crossing→first-mark latency histogram
+	epThresh int       // marker onset occupancy (bytes), 0 without one
+	epSeq    uint64    // episodes opened on this port
+	epID     uint64    // id of the open episode, valid while epOpen
+	epCrossT des.Time  // when the queue last crossed above epThresh
+	epCross  bool      // queue is above epThresh
+	epOpen   bool      // a mark episode is open
+
 	// TxBytes counts payload transmitted, for utilisation accounting.
 	TxBytes int64
 }

@@ -57,6 +57,10 @@ func (p *Port) bindObs() {
 	o := p.net.obs
 	p.ctr = nil
 	p.qdH = nil
+	p.aud = nil
+	p.crossH = nil
+	p.epCross = false
+	p.epOpen = false
 	if o == nil {
 		return
 	}
@@ -64,6 +68,17 @@ func (p *Port) bindObs() {
 		p.ctr = o.Metrics.PortCounters(PortName(p.owner.ID(), p.peer.ID()))
 	}
 	p.qdH = o.Hist(PortName(p.owner.ID(), p.peer.ID()) + ".qdelay_s")
+	// The control-loop audit only tracks mark episodes on ports that can
+	// mark; host NICs and unmarked fabric links keep a nil trail and skip
+	// the episode hook with one check.
+	if o.Audit != nil && p.queue.mark != nil {
+		p.aud = o.Audit
+		p.epThresh = 0
+		if tm, ok := p.queue.mark.(ThresholdMarker); ok {
+			p.epThresh = tm.MarkThreshold()
+		}
+		p.crossH = o.Hist("ctl.cross_to_mark_s")
+	}
 }
 
 // obsEvent fills the port-invariant fields of a trace record and routes it
@@ -100,11 +115,68 @@ func (p *Port) obsEventAt(t des.Time, typ obs.EventType, pkt *Packet) {
 // plus a Mark record when the marking policy set CE during the operation.
 func (p *Port) obsQueue(typ obs.EventType, pkt *Packet, ceBefore bool) {
 	p.obsEvent(typ, pkt)
-	if !ceBefore && pkt.CE {
+	fresh := !ceBefore && pkt.CE
+	if fresh {
 		if p.ctr != nil {
 			p.ctr.Marks.Inc()
 		}
 		p.obsEvent(obs.Mark, pkt)
+	}
+	if p.aud != nil {
+		p.audEpisode(typ, pkt, fresh)
+	}
+}
+
+// audEpisode maintains the port's mark-episode state for the control-loop
+// audit. A mark episode is "the first CE mark after the queue crosses the
+// marker threshold until the occupancy falls back to or below it": the
+// upward crossing is timestamped at enqueue, the first fresh mark after
+// it opens the episode (recording crossing→mark latency and stamping the
+// packet), and the occupancy falling back at dequeue closes it. Every
+// freshly marked packet — episode-opening or not — carries the open
+// episode's id and its mark time back toward the notification point.
+func (p *Port) audEpisode(typ obs.EventType, pkt *Packet, fresh bool) {
+	now := p.ctx.sim.Now()
+	qb := p.queue.MarkBytes()
+	if typ == obsEnqueue && !p.epCross && qb > p.epThresh {
+		p.epCross = true
+		p.epCrossT = now
+	}
+	if fresh {
+		if !p.epOpen {
+			p.epOpen = true
+			p.epSeq++
+			p.epID = uint64(p.owner.ID()+1)<<48 | uint64(p.peer.ID()+1)<<32 | p.epSeq
+			crossT := p.epCrossT
+			if !p.epCross {
+				// A marker below its threshold "crossed" at the mark itself
+				// (possible for threshold-free markers like PI on a draining
+				// queue); report zero latency rather than a stale crossing.
+				crossT = now
+			}
+			lat := now.Sub(crossT).Seconds()
+			if p.crossH != nil {
+				p.crossH.Record(lat)
+			}
+			p.aud.Emit(obs.Decision{
+				T: now, Type: obs.DecMarkOpen,
+				Node: int32(p.owner.ID()), Peer: int32(p.peer.ID()), Flow: -1,
+				Seq: p.epSeq, Episode: p.epID, RTT: lat, QBytes: int64(qb),
+			})
+		}
+		pkt.MarkEp = p.epID
+		pkt.MarkT = now
+	}
+	if typ == obsDequeue && p.epCross && qb <= p.epThresh {
+		p.epCross = false
+		if p.epOpen {
+			p.epOpen = false
+			p.aud.Emit(obs.Decision{
+				T: now, Type: obs.DecMarkClose,
+				Node: int32(p.owner.ID()), Peer: int32(p.peer.ID()), Flow: -1,
+				Seq: p.epSeq, Episode: p.epID, QBytes: int64(qb),
+			})
+		}
 	}
 }
 

@@ -436,3 +436,135 @@ func TestObsWatchdogStormCleanPairing(t *testing.T) {
 		t.Errorf("storm run violated invariants: %v", err)
 	}
 }
+
+// Mark episodes: each threshold excursion gets a unique id stamped at the
+// marker, every fresh CE mark carries it on the packet, and the episode
+// closes when the queue falls back below the threshold — so a receiver
+// (and the CNPs it reflects) can name the exact congestion event behind
+// each mark.
+func TestObsMarkEpisodeLifecycle(t *testing.T) {
+	mem := obs.NewAuditMemorySink(0)
+	o := &obs.NetObserver{Audit: obs.NewAuditTrail(mem), Hists: obs.NewHistSet()}
+	nw := New(1)
+	nw.SetPooling(true)
+	nw.SetObserver(o)
+	star := NewStar(nw, StarConfig{
+		Senders: 3, // 3× incast: the bottleneck queue must build
+		Link:    LinkConfig{Bandwidth: 1.25e9, PropDelay: des.Microsecond},
+		Mark: func() Marker {
+			// A cliff at 3 packets: marking is deterministic above Kmax.
+			return &REDMarker{Kmin: 3 * DataMTU, Kmax: 3*DataMTU + 1, Pmax: 1, Rng: nw.Rng}
+		},
+	})
+	var marks []uint64
+	var markT []des.Time
+	star.Receiver.Transport = TransportFunc(func(h *Host, pkt *Packet) {
+		if pkt.CE {
+			marks = append(marks, pkt.MarkEp)
+			markT = append(markT, pkt.MarkT)
+		}
+	})
+	burst := func() {
+		for _, s := range star.Senders {
+			for i := 0; i < 20; i++ {
+				pkt := nw.NewPacket()
+				pkt.Dst = star.Receiver.ID()
+				pkt.Size = DataMTU
+				pkt.Kind = Data
+				pkt.ECT = true
+				s.Send(pkt)
+			}
+		}
+	}
+	burst()
+	nw.Sim.Run() // queue drains to zero: the episode must close
+	burst()
+	nw.Sim.Run()
+
+	var opens, closes []obs.Decision
+	for _, d := range mem.Decisions() {
+		switch d.Type {
+		case obs.DecMarkOpen:
+			opens = append(opens, d)
+		case obs.DecMarkClose:
+			closes = append(closes, d)
+		}
+	}
+	if len(opens) != 2 || len(closes) != 2 {
+		t.Fatalf("got %d opens, %d closes; want 2 and 2 (one per burst)", len(opens), len(closes))
+	}
+	if opens[0].Episode == 0 || opens[0].Episode == opens[1].Episode {
+		t.Errorf("episode ids not unique: %d, %d", opens[0].Episode, opens[1].Episode)
+	}
+	for i := range opens {
+		if closes[i].Episode != opens[i].Episode {
+			t.Errorf("close %d names episode %d, open was %d", i, closes[i].Episode, opens[i].Episode)
+		}
+		if opens[i].QBytes <= int64(3*DataMTU) {
+			t.Errorf("open %d queue depth %d not above the threshold", i, opens[i].QBytes)
+		}
+	}
+	if len(marks) == 0 {
+		t.Fatal("no CE-marked packet reached the receiver")
+	}
+	// Every mark names one of the two episodes, all first-episode marks
+	// precede all second-episode marks, and both episodes produced marks.
+	firstDone := false
+	seen := map[uint64]bool{}
+	for i, ep := range marks {
+		seen[ep] = true
+		switch ep {
+		case opens[0].Episode:
+			if firstDone {
+				t.Errorf("mark %d names episode 1 after episode 2 began", i)
+			}
+		case opens[1].Episode:
+			firstDone = true
+		default:
+			t.Errorf("mark %d carries unknown episode %d", i, ep)
+		}
+		if markT[i] == 0 {
+			t.Errorf("mark %d carries no mark timestamp", i)
+		}
+	}
+	if !seen[opens[0].Episode] || !seen[opens[1].Episode] {
+		t.Errorf("marks covered episodes %v, want both %d and %d", seen, opens[0].Episode, opens[1].Episode)
+	}
+	if h := o.Hist("ctl.cross_to_mark_s"); h.Count() != 2 {
+		t.Errorf("cross_to_mark histogram has %d samples, want 2 (one per episode)", h.Count())
+	}
+
+	// Detached: the same run stamps nothing — provenance fields stay zero.
+	nw2 := New(1)
+	nw2.SetPooling(true)
+	star2 := NewStar(nw2, StarConfig{
+		Senders: 3,
+		Link:    LinkConfig{Bandwidth: 1.25e9, PropDelay: des.Microsecond},
+		Mark: func() Marker {
+			return &REDMarker{Kmin: 3 * DataMTU, Kmax: 3*DataMTU + 1, Pmax: 1, Rng: nw2.Rng}
+		},
+	})
+	ceSeen := false
+	star2.Receiver.Transport = TransportFunc(func(h *Host, pkt *Packet) {
+		if pkt.CE {
+			ceSeen = true
+			if pkt.MarkEp != 0 || pkt.MarkT != 0 {
+				t.Errorf("detached run stamped provenance: ep=%d t=%v", pkt.MarkEp, pkt.MarkT)
+			}
+		}
+	})
+	for _, s2 := range star2.Senders {
+		for i := 0; i < 20; i++ {
+			pkt := nw2.NewPacket()
+			pkt.Dst = star2.Receiver.ID()
+			pkt.Size = DataMTU
+			pkt.Kind = Data
+			pkt.ECT = true
+			s2.Send(pkt)
+		}
+	}
+	nw2.Sim.Run()
+	if !ceSeen {
+		t.Fatal("detached run produced no CE marks; scenario not comparable")
+	}
+}

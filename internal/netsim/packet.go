@@ -73,6 +73,16 @@ type Packet struct {
 	Bytes  int      // Ack: payload bytes covered by this completion event
 	EnqT   des.Time // stamped at each egress-queue Push (per-hop delay histograms)
 
+	// MarkEp/MarkT carry the control-loop audit's mark-episode provenance:
+	// the marking port stamps a CE-marked data packet with the episode id
+	// and mark time, and the DCQCN notification point copies both onto the
+	// CNP it sends back, so the sender's rate cut can name the episode that
+	// caused it and measure the mark→CNP-receipt latency. Both stay zero
+	// when no audit trail is attached (the usual state), so the fields are
+	// pure payload — they never influence simulation behaviour.
+	MarkEp uint64   // mark-episode id, 0 when unmarked or audit detached
+	MarkT  des.Time // time the CE mark was applied
+
 	ingress int // switch-internal: ingress port index while buffered
 	// prevHop is the node that transmitted the packet on its most recent
 	// hop, stamped by the delivering port just before Receive. Switches on

@@ -157,6 +157,17 @@ type Marker interface {
 	Mark(q *Queue, pkt *Packet)
 }
 
+// ThresholdMarker is implemented by markers with a well-defined onset
+// occupancy below which they never mark. The control-loop audit uses it
+// to time queue-crossing→first-mark latency and to delimit mark episodes;
+// markers without a threshold (PI) fall back to 0, making an episode
+// coincide with the marker-visible busy period.
+type ThresholdMarker interface {
+	// MarkThreshold reports the occupancy (bytes, against MarkBytes)
+	// at or below which the marker never marks.
+	MarkThreshold() int
+}
+
 // REDMarker implements the Eq. 3 RED-like profile on the instantaneous
 // queue length.
 type REDMarker struct {
@@ -168,6 +179,10 @@ type REDMarker struct {
 
 // AtEnqueue implements Marker.
 func (m *REDMarker) AtEnqueue() bool { return m.Ingress }
+
+// MarkThreshold implements ThresholdMarker: RED never marks at or below
+// Kmin.
+func (m *REDMarker) MarkThreshold() int { return m.Kmin }
 
 // Mark implements Marker.
 func (m *REDMarker) Mark(q *Queue, pkt *Packet) {

@@ -55,6 +55,13 @@ type NetObserver struct {
 	// distinguishable series and exports in an order independent of job
 	// scheduling.
 	ProbePrefix string
+	// Audit receives one Decision per congestion-control action: DCQCN
+	// alpha updates, rate cuts and FR/AI/HAI increases; TIMELY RTT
+	// samples, gradients and rate actions; switch mark-episode
+	// open/close. Nil disables the control-loop audit entirely (the
+	// usual state): endpoints and marking ports keep a nil trail pointer
+	// and skip every audit site with one check.
+	Audit *AuditTrail
 	// TracePerJob, when set, gives every sweep job a private tracer: the
 	// job orchestrator calls it with the job's ID when deriving the job's
 	// observer copy and installs the result as that copy's Trace. A shared
@@ -62,6 +69,11 @@ type NetObserver struct {
 	// (normally backed by per-job files) make trace output deterministic
 	// for any worker count.
 	TracePerJob func(jobID string) *Tracer
+	// AuditPerJob mirrors TracePerJob for the control-loop audit: when
+	// set, the job orchestrator installs AuditPerJob(jobID) as the job
+	// copy's Audit trail, so per-job audit files stay byte-identical for
+	// any worker count.
+	AuditPerJob func(jobID string) *AuditTrail
 }
 
 // Emit routes one event to the tracer and the invariant checker. Callers

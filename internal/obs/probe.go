@@ -147,6 +147,7 @@ func (p *Probe) Drive(sim *des.Simulator, every des.Duration, fn func() float64)
 type ProbeSet struct {
 	mu     sync.Mutex
 	probes []*Probe
+	header *Header
 }
 
 // NewProbeSet returns an empty set.
@@ -163,6 +164,17 @@ func (ps *ProbeSet) Add(p *Probe) *Probe {
 // NewProbe creates, registers, and returns a probe in one step.
 func (ps *ProbeSet) NewProbe(name string, capacity int) *Probe {
 	return ps.Add(NewProbe(name, capacity))
+}
+
+// SetHeader attaches a self-describing header record written as the
+// first line of WriteJSONL output. The header describes the whole
+// export, so it is set once by the invoking command — not per job — and
+// stays identical for any worker count.
+func (ps *ProbeSet) SetHeader(h Header) {
+	ps.mu.Lock()
+	hc := h
+	ps.header = &hc
+	ps.mu.Unlock()
 }
 
 // Probes returns the registered probes sorted by name (stable on ties).
@@ -183,12 +195,21 @@ func (ps *ProbeSet) Probes() []*Probe {
 //	{"probe":"queue_bytes","dropped":123}
 //
 // record carrying the overwrite count, so consumers can tell a short
-// series from a truncated one. Probes export in name order, samples
+// series from a truncated one. When a Header is set (SetHeader) it is
+// written first. Probes export in name order, samples
 // chronologically, and floats in Go's shortest round-trip form —
 // byte-identical across identical runs.
 func (ps *ProbeSet) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	var buf []byte
+	ps.mu.Lock()
+	h := ps.header
+	ps.mu.Unlock()
+	if h != nil {
+		if _, err := bw.Write(h.appendJSONL(buf)); err != nil {
+			return err
+		}
+	}
 	for _, p := range ps.Probes() {
 		for _, s := range p.Samples() {
 			buf = buf[:0]

@@ -35,6 +35,11 @@ type Server struct {
 
 	ln  net.Listener
 	srv *http.Server
+
+	// Test overrides (0: the production defaults). Tests shrink these to
+	// observe timeout enforcement without multi-second waits.
+	readTimeout  time.Duration
+	writeTimeout time.Duration
 }
 
 // NewServer wraps an observer (which may have any subset of facilities
@@ -79,7 +84,28 @@ func (s *Server) Start(addr string) (string, error) {
 		return "", fmt.Errorf("obs: telemetry listen %s: %w", addr, err)
 	}
 	s.ln = ln
-	s.srv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	// ReadTimeout/WriteTimeout bound a whole request/response exchange, not
+	// just the header: without them a scraper that stops reading mid-body
+	// holds its connection in-flight and pins Shutdown to its full
+	// deadline. Telemetry responses are small, so generous bounds still cut
+	// a stalled scrape off long before a graceful drain would give up.
+	rt, wt := 10*time.Second, 30*time.Second
+	if s.readTimeout > 0 {
+		rt = s.readTimeout
+	}
+	if s.writeTimeout > 0 {
+		wt = s.writeTimeout
+	}
+	ht := 5 * time.Second
+	if ht > rt {
+		ht = rt
+	}
+	s.srv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: ht,
+		ReadTimeout:       rt,
+		WriteTimeout:      wt,
+	}
 	go func() { _ = s.srv.Serve(ln) }()
 	return ln.Addr().String(), nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"regexp"
 	"strconv"
@@ -296,5 +297,80 @@ func TestServerShutdownDeadlineBoundsHungHandler(t *testing.T) {
 func TestServerShutdownWithoutStartIsNoop(t *testing.T) {
 	if err := NewServer(nil).Shutdown(time.Second); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestServerTimeoutsConfigured pins the production hardening: the HTTP
+// server must bound the whole exchange, not just the header, or a
+// scraper that stops reading mid-body holds its connection in-flight
+// until the process dies.
+func TestServerTimeoutsConfigured(t *testing.T) {
+	srv := NewServer(nil)
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.srv.ReadTimeout != 10*time.Second {
+		t.Errorf("ReadTimeout = %v, want 10s", srv.srv.ReadTimeout)
+	}
+	if srv.srv.WriteTimeout != 30*time.Second {
+		t.Errorf("WriteTimeout = %v, want 30s", srv.srv.WriteTimeout)
+	}
+	if srv.srv.ReadHeaderTimeout != 5*time.Second {
+		t.Errorf("ReadHeaderTimeout = %v, want 5s", srv.srv.ReadHeaderTimeout)
+	}
+}
+
+// TestServerCutsStalledReader: a client that requests a large body and
+// then never reads must be cut off by the write timeout — the handler's
+// blocked Write fails — instead of pinning the connection (and any later
+// graceful Shutdown) forever. Timeouts are shrunk so the test observes
+// the cut in milliseconds rather than the production 30s.
+func TestServerCutsStalledReader(t *testing.T) {
+	srv := NewServer(nil)
+	srv.readTimeout = 200 * time.Millisecond
+	srv.writeTimeout = 200 * time.Millisecond
+	writeErr := make(chan error, 1)
+	srv.Handle("/big", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		chunk := make([]byte, 1<<20)
+		for i := 0; i < 1024; i++ { // far beyond any socket buffer
+			if _, err := w.Write(chunk); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+		writeErr <- nil
+	}))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "GET /big HTTP/1.1\r\nHost: %s\r\n\r\n", addr); err != nil {
+		t.Fatal(err)
+	}
+	// Never read: the response backs up into the socket buffers and the
+	// handler's Write blocks until the write deadline fires.
+	select {
+	case err := <-writeErr:
+		if err == nil {
+			t.Fatal("handler drained 1 GiB into a non-reading client; write timeout not enforced")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stalled reader still pinned the handler after 10s; write timeout not enforced")
+	}
+	// With the stalled connection dead, a graceful drain is prompt.
+	t0 := time.Now()
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("shutdown after stalled reader: %v", err)
+	}
+	if d := time.Since(t0); d > 3*time.Second {
+		t.Fatalf("shutdown took %v despite the stalled reader being cut", d)
 	}
 }

@@ -205,6 +205,17 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 	return s
 }
 
+// WriteHeader writes a self-describing header record. Call it once,
+// right after constructing the sink and before any event is emitted, so
+// the header is the first line of the stream.
+func (s *JSONLSink) WriteHeader(h Header) {
+	b := h.appendJSONL(s.buf[:0])
+	s.buf = b
+	if _, err := s.bw.Write(b); err != nil {
+		s.err.set(err)
+	}
+}
+
 // Event implements Sink.
 func (s *JSONLSink) Event(e Event) {
 	b := s.buf[:0]

@@ -93,3 +93,18 @@ func TestStartBadMemPath(t *testing.T) {
 		t.Fatal("expected an error for an uncreatable heap profile path")
 	}
 }
+
+// TestStartWhileProfilerBusy: the runtime allows one CPU profile at a
+// time; a second Start must fail cleanly and close its half-opened file
+// rather than leaking it.
+func TestStartWhileProfilerBusy(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := Start(filepath.Join(dir, "cpu1.pprof"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if _, err := Start(filepath.Join(dir, "cpu2.pprof"), ""); err == nil {
+		t.Fatal("second concurrent CPU profile should fail")
+	}
+}

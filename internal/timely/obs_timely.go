@@ -27,6 +27,19 @@ func (e *Endpoint) bindObs() {
 	}
 	e.rttH = o.Hist("timely.rtt_s")
 	e.paceGapH = o.Hist("timely.pace_gap_s")
+	e.aud = o.Audit
+}
+
+// audit stamps the endpoint-invariant fields of a decision record and
+// emits it. Callers have already checked s.e.aud != nil.
+func (s *Sender) audit(d obs.Decision) {
+	s.e.audSeq++
+	d.T = s.e.host.Now()
+	d.Node = int32(s.e.host.ID())
+	d.Peer = int32(s.dst)
+	d.Flow = int32(s.id)
+	d.Seq = s.e.audSeq
+	s.e.aud.Emit(d)
 }
 
 // obsPace records the gap since this sender's previous data emission into

@@ -161,6 +161,13 @@ type Endpoint struct {
 	// has no observer (or no HistSet) attached.
 	rttH     *obs.Hist
 	paceGapH *obs.Hist
+
+	// Control-loop audit binding (nil without an attached trail): aud
+	// receives one Decision per RTT sample, gradient computation and rate
+	// action; audSeq numbers this endpoint's decisions for the canonical
+	// audit sort order.
+	aud    *obs.AuditTrail
+	audSeq uint64
 }
 
 // NewEndpoint attaches a TIMELY engine to h.
@@ -491,6 +498,11 @@ func (s *Sender) onAck(pkt *netsim.Packet) {
 		// rate computation — the spread is what the paper plots.
 		h.Record(newRTT.Seconds())
 	}
+	if s.e.aud != nil {
+		// Likewise every sample is audited, gated or not, so the offline
+		// analysis sees the same signal the engine saw.
+		s.audit(obs.Decision{Type: obs.DecRTTSample, RTT: newRTT.Seconds()})
+	}
 	if s.haveRTT && now.Sub(s.lastUpdate) < s.e.p.MinRTT {
 		return
 	}
@@ -513,6 +525,11 @@ func (s *Sender) update(newRTT des.Duration) {
 	s.prevRTT = newRTT
 	s.rttDiff = (1-p.EWMA)*s.rttDiff + p.EWMA*newDiff
 	gradient := s.rttDiff / p.MinRTT.Seconds()
+	oldRate := s.rate
+	dec := obs.DecTimelyAdd
+	if s.e.aud != nil {
+		s.audit(obs.Decision{Type: obs.DecGradient, Grad: gradient, RTT: newRTT.Seconds()})
+	}
 
 	switch {
 	case newRTT < p.TLow:
@@ -524,6 +541,7 @@ func (s *Sender) update(newRTT des.Duration) {
 			bh = p.Beta
 		}
 		s.rate *= 1 - bh*(1-p.THigh.Seconds()/newRTT.Seconds())
+		dec = obs.DecTimelyBrake
 	default:
 		if p.Patched {
 			// Algorithm 2 lines 9-12.
@@ -531,6 +549,7 @@ func (s *Sender) update(newRTT des.Duration) {
 			errTerm := (newRTT - p.RTTRef).Seconds() / p.RTTRef.Seconds()
 			s.rate = p.Delta*(1-w) + s.rate*(1-p.Beta*w*errTerm)
 			s.aiStreak = 0
+			dec = obs.DecTimelyPatched
 		} else if gradient <= 0 {
 			s.additive()
 		} else {
@@ -540,9 +559,16 @@ func (s *Sender) update(newRTT des.Duration) {
 				g = p.GradClamp
 			}
 			s.rate *= 1 - p.Beta*g
+			dec = obs.DecTimelyMD
 		}
 	}
 	s.clampRate()
+	if s.e.aud != nil {
+		s.audit(obs.Decision{
+			Type: dec, OldRate: oldRate, NewRate: s.rate,
+			RTT: newRTT.Seconds(), Grad: gradient,
+		})
+	}
 }
 
 func (s *Sender) additive() {
